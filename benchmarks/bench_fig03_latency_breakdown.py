@@ -1,0 +1,30 @@
+"""Fig. 3: end-to-end latency breakdown for R0271 (77 aa) and T1269 (1,410 aa)."""
+
+from conftest import print_table
+
+from repro.analysis import latency_breakdown
+
+
+def run_breakdown():
+    return {name: latency_breakdown(n) for name, n in (("R0271", 77), ("T1269", 1410))}
+
+
+def test_fig03_latency_breakdown(benchmark):
+    results = benchmark.pedantic(run_breakdown, rounds=1, iterations=1)
+    rows = []
+    for name, breakdown in results.items():
+        rows.append(
+            (
+                name,
+                f"folding block {breakdown.folding_block_fraction:.1%}",
+                f"pair dataflow {breakdown.pair_dataflow_fraction:.1%}",
+                f"triangular attention {breakdown.triangular_attention_fraction:.1%}",
+            )
+        )
+    print_table("Fig. 3 latency breakdown (paper: 83.8%/94.5% folding, 29.0%->75.9% tri-att)", rows)
+
+    short, long = results["R0271"], results["T1269"]
+    assert short.folding_block_fraction > 0.6
+    assert long.folding_block_fraction > 0.9
+    assert long.pair_dataflow_fraction > 0.85
+    assert long.triangular_attention_fraction > short.triangular_attention_fraction

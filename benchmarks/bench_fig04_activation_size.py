@@ -1,0 +1,23 @@
+"""Fig. 4: weight size vs peak activation size across sequence lengths."""
+
+from conftest import print_table
+
+from repro.analysis import activation_weight_curve
+
+SEQUENCE_LENGTHS = [100, 500, 1000, 2500, 5000, 10000]
+
+
+def test_fig04_activation_weight_ratio(benchmark):
+    curve = benchmark.pedantic(activation_weight_curve, args=(SEQUENCE_LENGTHS,), rounds=1, iterations=1)
+    rows = [
+        (p.sequence_length, f"weight {p.weight_gb:.2f} GB", f"activation {p.activation_gb:.2f} GB",
+         f"ratio {p.ratio:.2f}")
+        for p in curve
+    ]
+    print_table("Fig. 4 activation vs weight size (paper ratios: 1.0 ... 2607 at 10k)", rows)
+
+    ratios = [p.ratio for p in curve]
+    assert ratios == sorted(ratios), "activation/weight ratio must grow with sequence length"
+    assert ratios[-1] > 1000, "at 10k residues activations dwarf weights by >1000x"
+    # The 2,034-residue OOM anchor: activations alone exceed an 80 GB GPU.
+    assert next(p for p in curve if p.sequence_length == 2500).activation_gb > 80

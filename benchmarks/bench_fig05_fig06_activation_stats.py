@@ -1,0 +1,37 @@
+"""Fig. 5 / Fig. 6(c): activation distributions and Group A/B/C characteristics."""
+
+import numpy as np
+from conftest import print_table
+
+from repro.analysis import figure5_analysis, figure6c_statistics, group_separation_report, record_activations
+from repro.ppm import PPMConfig
+from repro.proteins import generate_protein
+
+
+def collect():
+    targets = [generate_protein(56, seed=s) for s in (3, 4)]
+    return record_activations(targets, config=PPMConfig.small(), keep_arrays=True)
+
+
+def test_fig05_token_vs_channel_distribution(benchmark):
+    recorder = benchmark.pedantic(collect, rounds=1, iterations=1)
+    analyses = figure5_analysis(recorder)
+    concentration = float(np.mean([a.token_outlier_concentration for a in analyses]))
+    rows = [(a.name, f"channel spread {a.channel_range_spread:.2f}",
+             f"token spread {a.token_range_spread:.2f}") for a in analyses[:8]]
+    print_table(f"Fig. 5 sample taps (outlier concentration in top tokens: {concentration:.2f})", rows)
+    assert analyses
+    assert concentration > 0.1  # outliers concentrate in specific token positions
+
+    stats = {s.group: s for s in figure6c_statistics(recorder)}
+    rows = [
+        (f"Group {g}", f"mean |value| {stats[g].mean_abs:.2f}",
+         f"outliers/token {stats[g].outliers_per_token:.2f}")
+        for g in ("A", "B", "C")
+    ]
+    print_table("Fig. 6(c) group characteristics (paper: 82.14/4.05/3.85, 2.31/1.69/0.64)", rows)
+    assert stats["A"].mean_abs > stats["B"].mean_abs
+    assert stats["A"].mean_abs > stats["C"].mean_abs
+
+    report = group_separation_report(recorder)
+    assert report["value_ratio_a_over_b"] > 1.5

@@ -1,0 +1,71 @@
+"""Fig. 11: design-space exploration of the AAQ quantization scheme per group."""
+
+from conftest import print_table
+
+from repro.analysis.dse import QuantizationDSE
+from repro.ppm import PPMConfig
+from repro.proteins import generate_protein
+
+#: Reduced sweep (both precisions, a few outlier counts) to keep runtime modest;
+#: the full OUTLIER_SWEEP is available through the same API.
+OUTLIER_COUNTS = (16, 4, 0)
+PRECISIONS = (4, 8)
+
+
+def run_dse():
+    targets = [generate_protein(56, seed=9)]
+    dse = QuantizationDSE(targets, config=PPMConfig.small(), seed=0)
+    sweeps = {
+        group: dse.sweep_group(group, outlier_counts=OUTLIER_COUNTS, precisions=PRECISIONS)
+        for group in ("A", "B", "C")
+    }
+    return dse, sweeps
+
+
+def collect_group_a_tokens():
+    """Group-A (residual-stream) activations for the token-level sweep."""
+    import numpy as np
+
+    from repro.analysis import record_activations
+
+    config = PPMConfig.small()
+    recorder = record_activations([generate_protein(56, seed=9)], config=config, keep_arrays=True)
+    arrays = [
+        tokens
+        for name, tokens in recorder.arrays.items()
+        if ("residual" in name or "pre_ln" in name) and tokens.shape[-1] == config.pair_dim
+    ]
+    return {"A": np.concatenate(arrays, axis=0)}
+
+
+def test_fig11_quantization_dse(benchmark):
+    dse, sweeps = benchmark.pedantic(run_dse, rounds=1, iterations=1)
+    for group, points in sweeps.items():
+        rows = [
+            (f"{p.inlier_bits}-bit", f"{p.outlier_count} outliers",
+             f"TM {p.tm_score:.3f}", f"eff {p.efficiency:.3f}")
+            for p in points
+        ]
+        best = dse.best_point(points)
+        print_table(
+            f"Fig. 11 Group {group} (baseline TM {dse.baseline_tm:.3f}; "
+            f"best: {best.inlier_bits}-bit, {best.outlier_count} outliers)",
+            rows,
+        )
+
+    # End-to-end TM-score: every explored configuration stays close to the
+    # baseline, and Group C is most efficient at INT4 (the paper's conclusion).
+    best_c = dse.best_point(sweeps["C"])
+    assert best_c.inlier_bits == 4
+    for points in sweeps.values():
+        for point in points:
+            assert point.tm_score >= dse.baseline_tm - 0.2
+
+    # Token-level sweep on Group A activations (residual stream): outlier
+    # handling or INT8 is required for the best efficiency, as in Fig. 11(a).
+    from repro.analysis import quick_group_sweep
+
+    group_a = collect_group_a_tokens()
+    points_a = quick_group_sweep(group_a, "A", hidden_dim=group_a["A"].shape[-1])
+    best_a = max(points_a, key=lambda p: p.efficiency)
+    assert best_a.inlier_bits == 8 or best_a.outlier_count >= 4

@@ -1,0 +1,41 @@
+"""Fig. 12: hardware design-space exploration (#VVPUs per RMPU, #RMPUs)."""
+
+from conftest import print_table
+
+from repro.analysis import hardware_dse, saturation_point
+
+SEQUENCE_LENGTHS = [400, 1200]
+
+
+def run_dse():
+    return hardware_dse(
+        SEQUENCE_LENGTHS,
+        rmpu_counts=(1, 2, 4, 8, 16, 32, 64),
+        vvpu_counts=(1, 2, 3, 4, 5, 6, 8),
+    )
+
+
+def test_fig12_hardware_dse(benchmark):
+    sweeps = benchmark.pedantic(run_dse, rounds=1, iterations=1)
+
+    vvpu_rows = [
+        (f"{p.vvpus_per_rmpu} VVPUs/RMPU", f"{p.average_latency_seconds:.3f} s")
+        for p in sweeps["vvpu_sweep"]
+    ]
+    rmpu_rows = [
+        (f"{p.num_rmpus} RMPUs", f"{p.average_latency_seconds:.3f} s") for p in sweeps["rmpu_sweep"]
+    ]
+    print_table("Fig. 12(a) latency vs VVPUs per RMPU (paper: saturates at 4)", vvpu_rows)
+    print_table("Fig. 12(b) latency vs number of RMPUs (paper: saturates at 32)", rmpu_rows)
+
+    vvpu_latencies = [p.average_latency_seconds for p in sweeps["vvpu_sweep"]]
+    rmpu_latencies = [p.average_latency_seconds for p in sweeps["rmpu_sweep"]]
+    assert vvpu_latencies == sorted(vvpu_latencies, reverse=True)
+    assert rmpu_latencies == sorted(rmpu_latencies, reverse=True)
+
+    # Saturation: adding VVPUs beyond ~4 per RMPU yields <10% improvement.
+    assert saturation_point(sweeps["vvpu_sweep"], "vvpus_per_rmpu") <= 5
+    # RMPU returns diminish toward the paper's 32-RMPU design point.
+    first_double = rmpu_latencies[0] / rmpu_latencies[1]
+    last_double = rmpu_latencies[-2] / rmpu_latencies[-1]
+    assert last_double < first_double

@@ -1,0 +1,34 @@
+"""Fig. 13: TM-score of every quantization scheme across datasets."""
+
+from conftest import print_table
+
+from repro.analysis import AccuracyExperiment, accuracy_deltas, results_as_table
+from repro.core import all_schemes
+from repro.ppm import PPMConfig
+
+
+def run_experiment():
+    experiment = AccuracyExperiment(
+        config=PPMConfig.small(), targets_per_dataset=1, max_target_length=72, seed=0
+    )
+    return results_as_table(experiment.run(schemes=all_schemes()))
+
+
+def test_fig13_accuracy_across_schemes(benchmark):
+    table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    for dataset, scores in table.items():
+        rows = [(scheme, f"TM {score:.3f}") for scheme, score in scores.items()]
+        print_table(f"Fig. 13 {dataset} (paper baselines: CAMEO 0.802, CASP14 0.516, CASP15 0.540)", rows)
+
+    deltas = accuracy_deltas(table)
+    for dataset, scores in table.items():
+        # LightNobel (AAQ): negligible TM-score change versus FP16.
+        assert abs(deltas[dataset]["LightNobel (AAQ)"]) < 0.02
+        # Token-wise INT8 baselines also track the baseline closely.
+        assert abs(deltas[dataset]["SmoothQuant"]) < 0.05
+        assert abs(deltas[dataset]["LLM.int8()"]) < 0.05
+        # Tender (channel-wise INT4) deviates from the FP16 baseline far more
+        # than AAQ does: sub-INT8 non-token-wise quantization is not stable on
+        # the PPM's pair activations.
+        assert abs(deltas[dataset]["Tender"]) > 5 * abs(deltas[dataset]["LightNobel (AAQ)"])
+        assert abs(deltas[dataset]["Tender"]) > 0.02

@@ -1,0 +1,25 @@
+"""Fig. 14(a): end-to-end latency of recent PPM systems, normalized to LightNobel."""
+
+from conftest import print_table
+
+from repro.gpu import EndToEndComparison
+
+
+def run_comparison(lengths):
+    return EndToEndComparison().normalized_to_lightnobel(lengths)
+
+
+def test_fig14a_end_to_end(benchmark, catalogs):
+    # Paper protocol: CASP16 proteins short enough to fit on a single GPU.
+    lengths = [n for n in catalogs["CASP16"].lengths() if n <= 1410][:4]
+    normalized = benchmark.pedantic(run_comparison, args=(lengths,), rounds=1, iterations=1)
+    rows = [(system, f"{value:.2f}x LightNobel") for system, value in sorted(
+        normalized.items(), key=lambda item: item[1])]
+    print_table("Fig. 14(a) normalized end-to-end latency "
+                "(paper: AlphaFold2 141x, AlphaFold3 72x, FastFold 41x, ColabFold 7x, ESMFold 1.74x)", rows)
+
+    assert normalized["LightNobel"] == 1.0
+    assert normalized["ESMFold (Baseline)"] > 1.0
+    assert normalized["MEFold"] > normalized["PTQ4Protein"] > normalized["ESMFold (Baseline)"]
+    assert normalized["ColabFold"] > normalized["MEFold"]
+    assert normalized["AlphaFold2"] > normalized["AlphaFold3"] > normalized["FastFold"] > normalized["ColabFold"]

@@ -1,0 +1,54 @@
+"""Fig. 14(b-d): folding-block latency of LightNobel vs A100/H100 (±chunk)."""
+
+import pytest
+from conftest import print_table
+
+from repro.analysis import average_speedup, compare_hardware_on_lengths
+
+
+def compare_all(dataset_lengths, **kwargs):
+    results = {}
+    for dataset, lengths in dataset_lengths.items():
+        try:
+            results[dataset] = compare_hardware_on_lengths(dataset, lengths, **kwargs)
+        except ValueError:
+            continue  # filter removed every protein for this dataset
+    return results
+
+
+def test_fig14b_all_proteins(benchmark, dataset_lengths):
+    results = benchmark.pedantic(compare_all, args=(dataset_lengths,), rounds=1, iterations=1)
+    for dataset, comparison in results.items():
+        speedups = average_speedup(comparison)
+        rows = [(config, f"{value:.2f}x slower than LightNobel") for config, value in speedups.items()]
+        print_table(f"Fig. 14(b) {dataset} (paper: 3.85-8.44x chunk, 1.01-1.22x no chunk)", rows)
+        assert speedups["H100 (chunk)"] > speedups["H100 (no chunk)"]
+        assert speedups["A100 (chunk)"] >= speedups["H100 (chunk)"] * 0.85
+        assert speedups["H100 (no chunk)"] > 0.9
+
+
+def test_fig14c_excluding_oom(benchmark, dataset_lengths):
+    subset = {k: v for k, v in dataset_lengths.items() if k != "CAMEO"}
+    results = benchmark.pedantic(
+        compare_all, args=(subset,), kwargs={"exclude_oom": True}, rounds=1, iterations=1
+    )
+    for dataset, comparison in results.items():
+        speedups = average_speedup(comparison)
+        rows = [(config, f"{value:.2f}x") for config, value in speedups.items()]
+        print_table(f"Fig. 14(c) {dataset}, OOM proteins excluded (paper: 5.3-6.7x chunk)", rows)
+        assert speedups["H100 (chunk)"] > 1.0
+
+
+def test_fig14d_long_proteins_only(benchmark, dataset_lengths):
+    subset = {k: v for k, v in dataset_lengths.items() if k in ("CASP15", "CASP16")}
+    results = benchmark.pedantic(
+        compare_all, args=(subset,), kwargs={"only_oom_without_chunk": True}, rounds=1, iterations=1
+    )
+    if not results:
+        pytest.skip("no proteins exceeded single-GPU memory in the sampled lengths")
+    for dataset, comparison in results.items():
+        speedups = average_speedup(comparison)
+        rows = [(config, f"{value:.2f}x") for config, value in speedups.items()]
+        print_table(f"Fig. 14(d) {dataset}, chunk-only proteins (paper: 1.94-3.30x)", rows)
+        assert comparison.out_of_memory["H100 (no chunk)"]
+        assert 1.0 < speedups["H100 (chunk)"] < 20.0

@@ -1,0 +1,42 @@
+"""Fig. 15: peak memory requirement across datasets and sequence lengths."""
+
+from conftest import print_table
+
+from repro.analysis import lightnobel_peak_memory_gb, max_supported_length, peak_memory_comparison
+
+
+def collect_dataset_peaks(dataset_lengths):
+    return {
+        dataset: peak_memory_comparison(max(lengths)) for dataset, lengths in dataset_lengths.items()
+    }
+
+
+def test_fig15a_peak_memory_across_datasets(benchmark, dataset_lengths):
+    peaks = benchmark.pedantic(collect_dataset_peaks, args=(dataset_lengths,), rounds=1, iterations=1)
+    for dataset, values in peaks.items():
+        rows = [(k, f"{v:.1f} GB") for k, v in values.items()]
+        print_table(f"Fig. 15(a) {dataset} peak memory (paper CASP15: 597/54/14 GB)", rows)
+        assert values["lightnobel"] < values["baseline_chunk"] < values["baseline_no_chunk"]
+
+    casp16 = peaks["CASP16"]
+    reduction = casp16["baseline_no_chunk"] / casp16["lightnobel"]
+    assert reduction > 20, "paper reports up to 120x peak-memory reduction on long proteins"
+
+
+def test_fig15b_peak_memory_vs_length(benchmark):
+    lengths = [1000, 2000, 3364, 5000, 6879, 9945]
+    curve = benchmark.pedantic(
+        lambda: {n: peak_memory_comparison(n) for n in lengths}, rounds=1, iterations=1
+    )
+    rows = [
+        (n, f"no-chunk {v['baseline_no_chunk']:.0f} GB", f"chunk {v['baseline_chunk']:.0f} GB",
+         f"LightNobel {v['lightnobel']:.1f} GB")
+        for n, v in curve.items()
+    ]
+    print_table("Fig. 15(b) peak memory vs sequence length (80 GB budget line)", rows)
+
+    # LightNobel processes the longest CASP16 protein (6,879 aa) and close to
+    # the paper's 9,945-residue limit within 80 GB.
+    assert curve[6879]["lightnobel"] < 80.0
+    assert curve[6879]["baseline_chunk"] > 80.0
+    assert max_supported_length(80.0) > 6879

@@ -1,0 +1,36 @@
+"""Fig. 16: computational cost and memory footprint versus sequence length."""
+
+from conftest import print_table
+
+from repro.analysis import computational_cost_comparison, memory_footprint_comparison
+
+LENGTHS = [1000, 2500, 5000, 7500, 10000]
+
+
+def collect():
+    return {
+        n: {
+            "cost": computational_cost_comparison(n),
+            "footprint": memory_footprint_comparison(n),
+        }
+        for n in LENGTHS
+    }
+
+
+def test_fig16_cost_and_footprint(benchmark):
+    data = benchmark.pedantic(collect, rounds=1, iterations=1)
+    rows = []
+    cost_reductions = []
+    footprint_reductions = []
+    for n, values in data.items():
+        cost_reduction = 1 - values["cost"]["lightnobel"] / values["cost"]["baseline"]
+        footprint_reduction = 1 - values["footprint"]["lightnobel"] / values["footprint"]["baseline"]
+        cost_reductions.append(cost_reduction)
+        footprint_reductions.append(footprint_reduction)
+        rows.append((n, f"compute cost -{cost_reduction:.1%}", f"memory footprint -{footprint_reduction:.1%}"))
+    print_table("Fig. 16 (paper: compute cost -43.4%, memory footprint -74.1% on average)", rows)
+
+    assert all(0.3 < r < 0.85 for r in cost_reductions)
+    assert all(0.4 < r < 0.85 for r in footprint_reductions)
+    # Reductions are stable across sequence lengths (token-wise scaling).
+    assert max(cost_reductions) - min(cost_reductions) < 0.15

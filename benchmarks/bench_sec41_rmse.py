@@ -1,0 +1,36 @@
+"""Section 4.1: RMSE impact of symmetric quantization with/without outlier handling."""
+
+import numpy as np
+from conftest import print_table
+
+from repro.core import TokenQuantConfig, token_quantization_rmse
+from repro.analysis import record_activations
+from repro.ppm import PPMConfig
+from repro.proteins import generate_protein
+
+
+def collect_group_a_tokens():
+    recorder = record_activations(
+        [generate_protein(48, seed=13)], config=PPMConfig.small(), keep_arrays=True
+    )
+    arrays = [tokens for name, tokens in recorder.arrays.items() if "pre_ln" in name or "residual" in name]
+    return np.concatenate(arrays, axis=0)
+
+
+def test_sec41_outlier_handling_rmse(benchmark):
+    tokens = benchmark.pedantic(collect_group_a_tokens, rounds=1, iterations=1)
+    reference = token_quantization_rmse(tokens, TokenQuantConfig(inlier_bits=8, outlier_count=16))
+    with_outliers = token_quantization_rmse(tokens, TokenQuantConfig(inlier_bits=8, outlier_count=4))
+    without_outliers = token_quantization_rmse(tokens, TokenQuantConfig(inlier_bits=8, outlier_count=0))
+
+    increase_with = (with_outliers - reference) / reference * 100
+    increase_without = (without_outliers - reference) / reference * 100
+    rows = [
+        ("reference (8-bit, 16 outliers)", f"RMSE {reference:.5f}"),
+        ("with outlier handling (4 outliers)", f"RMSE {with_outliers:.5f} (+{increase_with:.1f}%)"),
+        ("without outlier handling", f"RMSE {without_outliers:.5f} (+{increase_without:.1f}%)"),
+    ]
+    print_table("Section 4.1 RMSE (paper: +27.35% without vs +9.76% with outlier handling)", rows)
+
+    assert without_outliers > with_outliers >= reference
+    assert increase_without > 2 * max(increase_with, 1e-6)

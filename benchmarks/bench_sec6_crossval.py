@@ -1,0 +1,21 @@
+"""Section 6: cross-validation of the Python simulator against the RTL reference."""
+
+from conftest import print_table
+
+from repro.hardware import cross_validate
+
+
+def test_sec6_simulator_cross_validation(benchmark, dataset_lengths):
+    # Cap lengths so the benchmark stays quick; discrepancy shrinks with length.
+    capped = {name: [min(n, 2000) for n in lengths] for name, lengths in dataset_lengths.items()}
+    results = benchmark.pedantic(cross_validate, args=(capped,), rounds=1, iterations=1)
+    rows = [
+        (dataset, f"simulator {r.simulator_seconds:.3f} s", f"RTL ref {r.rtl_seconds:.3f} s",
+         f"discrepancy {r.discrepancy:.2%}")
+        for dataset, r in results.items()
+    ]
+    print_table("Section 6 cross-validation (paper: 1.81-4.63%, average 3.30%)", rows)
+
+    assert set(results) == set(dataset_lengths)
+    for result in results.values():
+        assert result.discrepancy < 0.05, "discrepancy must stay within the paper's 5% bound"

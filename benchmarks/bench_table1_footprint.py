@@ -1,0 +1,23 @@
+"""Table 1: memory footprint of each quantization scheme on T1169 (3,364 aa)."""
+
+from conftest import print_table
+
+from repro.analysis import footprint_table
+
+
+def test_table1_memory_footprint(benchmark):
+    rows = benchmark.pedantic(footprint_table, args=(3364,), rounds=1, iterations=1)
+    printable = [
+        (r.scheme, r.activation_grouping, r.activation_precision,
+         f"act {r.activation_gb:.2f} GB", f"weight {r.weight_gb:.2f} GB", f"total {r.total_gb:.2f} GB")
+        for r in rows
+    ]
+    print_table("Table 1 (paper totals: Baseline 121.4, LightNobel 73.5 GB)", printable)
+
+    by_name = {r.scheme: r for r in rows}
+    assert by_name["LightNobel (AAQ)"].total_gb == min(r.total_gb for r in rows)
+    assert by_name["Baseline"].activation_gb == max(r.activation_gb for r in rows)
+    assert by_name["MEFold"].activation_gb == by_name["Baseline"].activation_gb
+    # LightNobel's activation footprint is roughly half the FP16 baseline's.
+    ratio = by_name["LightNobel (AAQ)"].activation_gb / by_name["Baseline"].activation_gb
+    assert 0.3 < ratio < 0.7

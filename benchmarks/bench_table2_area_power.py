@@ -1,0 +1,29 @@
+"""Table 2 / Section 8.4: area, power and efficiency versus A100/H100."""
+
+from conftest import print_table
+
+from repro.hardware import AreaPowerModel, efficiency_versus_gpu
+
+
+def test_table2_area_power_breakdown(benchmark):
+    model = AreaPowerModel()
+    breakdown = benchmark.pedantic(model.breakdown, rounds=1, iterations=1)
+    rows = [(name, f"{v['area_mm2']:.2f} mm^2", f"{v['power_w']:.2f} W") for name, v in breakdown.items()]
+    print_table("Table 2 (paper total: 178.8 mm^2, 67.8 W)", rows)
+
+    assert abs(breakdown["total"]["area_mm2"] - 178.8) / 178.8 < 0.05
+    assert abs(breakdown["total"]["power_w"] - 67.8) / 67.8 < 0.05
+
+    share = model.crossbar_share()
+    assert share["area_share"] > 0.6, "crossbar networks dominate area (paper: 70.3%)"
+
+    efficiency = efficiency_versus_gpu(model, speedup_over_gpu={"A100": 8.44, "H100": 8.41})
+    rows = [
+        (gpu, f"area ratio {v['area_ratio']:.2f}", f"power ratio {v['power_ratio']:.2f}",
+         f"power efficiency gain {v['power_efficiency_gain']:.1f}x")
+        for gpu, v in efficiency.items()
+    ]
+    print_table("Section 8.4 efficiency vs GPUs (paper: 21.9%/19.4% of A100, 37.3x/43.4x)", rows)
+    assert efficiency["A100"]["area_ratio"] < 0.3
+    assert efficiency["A100"]["power_efficiency_gain"] > 30
+    assert efficiency["H100"]["power_efficiency_gain"] > 35

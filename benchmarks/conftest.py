@@ -1,0 +1,45 @@
+"""Shared fixtures and helpers for the per-figure/table benchmark harness.
+
+Every benchmark regenerates the data behind one table or figure of the paper
+and prints the corresponding rows/series (run with ``pytest benchmarks/
+--benchmark-only -s`` to see them).  Absolute numbers come from our simulated
+substrate, so they are not expected to match the paper's testbed; the
+assertions check the *shape* (orderings, crossovers, approximate factors) and
+EXPERIMENTS.md records paper-vs-measured values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ppm import PPMConfig
+from repro.proteins import build_all_catalogs
+
+
+def print_table(title: str, rows):
+    """Print a small aligned table for a figure/table reproduction."""
+    print(f"\n=== {title} ===")
+    for row in rows:
+        print("  " + " | ".join(str(item) for item in row))
+
+
+@pytest.fixture(scope="session")
+def paper_config() -> PPMConfig:
+    return PPMConfig.paper()
+
+
+@pytest.fixture(scope="session")
+def catalogs():
+    """Synthetic dataset catalogues mirroring CAMEO/CASP14/CASP15/CASP16."""
+    return build_all_catalogs(count=6, seed=0)
+
+
+@pytest.fixture(scope="session")
+def dataset_lengths(catalogs):
+    """Representative sequence lengths per dataset (capped for simulation speed)."""
+    lengths = {}
+    for name, catalog in catalogs.items():
+        values = sorted(catalog.lengths())
+        # Use min / median / max to represent the dataset's length profile.
+        lengths[name] = [values[0], values[len(values) // 2], values[-1]]
+    return lengths

@@ -1,0 +1,97 @@
+"""Activation-distribution analysis (Fig. 5, Fig. 6c, Section 3.3/3.4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.groups import GroupStatistics, classification_agreement, group_statistics
+from ..ppm.activation_tap import ActivationRecorder
+from ..ppm.config import PPMConfig
+from ..ppm.model import ProteinStructureModel
+from ..proteins.structure import ProteinStructure
+
+
+@dataclass
+class DistributionAnalysis:
+    """Channel-wise versus token-wise variance of one activation tensor (Fig. 5)."""
+
+    name: str
+    channel_range_spread: float   # spread of per-channel value ranges
+    token_range_spread: float     # spread of per-token value ranges
+    token_outlier_concentration: float  # fraction of outliers in the top-10% tokens
+
+    @property
+    def tokens_vary_more_than_channels(self) -> bool:
+        return self.token_range_spread > self.channel_range_spread
+
+
+def analyze_distribution(name: str, tokens: np.ndarray) -> DistributionAnalysis:
+    """Fig. 5 analysis: do value ranges vary more across tokens or channels?"""
+    tokens = np.asarray(tokens, dtype=np.float64)
+    if tokens.ndim != 2:
+        raise ValueError("tokens must be 2-D (num_tokens, hidden_dim)")
+    channel_ranges = np.abs(tokens).max(axis=0)
+    token_ranges = np.abs(tokens).max(axis=1)
+
+    def spread(values: np.ndarray) -> float:
+        center = np.median(values)
+        return float(values.std() / max(abs(center), 1e-9))
+
+    mean = tokens.mean()
+    std = tokens.std()
+    outliers = np.abs(tokens - mean) > 3 * max(std, 1e-12)
+    per_token_outliers = outliers.sum(axis=1)
+    order = np.argsort(per_token_outliers)[::-1]
+    top = max(1, tokens.shape[0] // 10)
+    total_outliers = per_token_outliers.sum()
+    concentration = (
+        float(per_token_outliers[order[:top]].sum() / total_outliers) if total_outliers else 0.0
+    )
+    return DistributionAnalysis(
+        name=name,
+        channel_range_spread=spread(channel_ranges),
+        token_range_spread=spread(token_ranges),
+        token_outlier_concentration=concentration,
+    )
+
+
+def record_activations(
+    targets: List[ProteinStructure],
+    config: Optional[PPMConfig] = None,
+    seed: int = 0,
+    keep_arrays: bool = True,
+) -> ActivationRecorder:
+    """Run the PPM over ``targets`` and collect activation statistics."""
+    model = ProteinStructureModel(config or PPMConfig.small(), seed=seed)
+    recorder = ActivationRecorder(keep_arrays=keep_arrays)
+    for target in targets:
+        model.predict_from_structure(target, ctx=recorder)
+    return recorder
+
+
+def figure5_analysis(recorder: ActivationRecorder) -> List[DistributionAnalysis]:
+    """Per-tap Fig. 5 analyses from a recorder with kept arrays."""
+    return [analyze_distribution(name, tokens) for name, tokens in recorder.arrays.items()]
+
+
+def figure6c_statistics(recorder: ActivationRecorder) -> List[GroupStatistics]:
+    """Group A/B/C statistics (Fig. 6c) from recorded activations."""
+    return group_statistics(recorder.records)
+
+
+def group_separation_report(recorder: ActivationRecorder) -> Dict[str, float]:
+    """Summary of how well value-range + outlier features separate the groups."""
+    stats = {s.group: s for s in figure6c_statistics(recorder)}
+    report: Dict[str, float] = {
+        "classification_agreement": classification_agreement(recorder.records),
+    }
+    if "A" in stats and "B" in stats:
+        report["value_ratio_a_over_b"] = stats["A"].mean_abs / max(stats["B"].mean_abs, 1e-9)
+    if "B" in stats and "C" in stats:
+        report["outlier_ratio_b_over_c"] = stats["B"].outliers_per_token / max(
+            stats["C"].outliers_per_token, 1e-9
+        )
+    return report

@@ -1,0 +1,227 @@
+"""Design-space exploration: AAQ schemes (Fig. 11) and hardware config (Fig. 12)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.aaq import AAQConfig
+from ..core.token_quant import TokenQuantConfig, token_quantization_rmse
+from ..hardware.accelerator import LightNobelAccelerator
+from ..hardware.config import LightNobelConfig
+from ..ppm.activation_tap import ActivationRecorder
+from ..ppm.config import PPMConfig
+from ..ppm.model import ProteinStructureModel
+from ..ppm.quantized import QuantizedPPM
+from ..metrics.tm_score import tm_score_structures
+from ..proteins.structure import ProteinStructure
+
+#: Outlier counts explored in Fig. 11.
+OUTLIER_SWEEP: Sequence[int] = (128, 64, 32, 16, 8, 4, 0)
+
+#: Inlier precisions explored in Fig. 11.
+PRECISION_SWEEP: Sequence[int] = (4, 8)
+
+
+@dataclass(frozen=True)
+class QuantDSEPoint:
+    """One point of the Fig. 11 sweep for one activation group."""
+
+    group: str
+    inlier_bits: int
+    outlier_count: int
+    tm_score: float
+    bytes_per_token: float
+    efficiency: float
+
+
+def efficiency_metric(tm: float, baseline_tm: float, bytes_per_token: float, hidden_dim: int) -> float:
+    """Fig. 11 efficiency: compression gain, sharply discounted by TM-score loss.
+
+    The paper defines efficiency from the quantized-token memory size and the
+    resulting TM-score, "decreasing significantly as TM-Score drops".  We use
+    ``compression_ratio * max(0, 1 - 25 * tm_drop)``: a configuration that
+    keeps accuracy gets credit proportional to how much it shrinks the token;
+    one that loses more than ~0.04 TM-score gets no credit.
+    """
+    fp16_bytes = hidden_dim * 2.0
+    compression = fp16_bytes / bytes_per_token
+    tm_drop = max(0.0, baseline_tm - tm)
+    penalty = max(0.0, 1.0 - 25.0 * tm_drop)
+    return compression * penalty / 10.0
+
+
+class QuantizationDSE:
+    """Fig. 11: sweep inlier precision and outlier count per activation group."""
+
+    def __init__(
+        self,
+        targets: List[ProteinStructure],
+        config: Optional[PPMConfig] = None,
+        seed: int = 0,
+        base_config: Optional[AAQConfig] = None,
+    ) -> None:
+        if not targets:
+            raise ValueError("at least one target protein is required")
+        self.targets = targets
+        self.ppm_config = config or PPMConfig.small()
+        self.model = ProteinStructureModel(self.ppm_config, seed=seed)
+        self.base_config = base_config or AAQConfig.paper_optimal()
+        self.baseline_tm = self._average_tm(None)
+
+    def _average_tm(self, aaq: Optional[AAQConfig]) -> float:
+        scores = []
+        for target in self.targets:
+            if aaq is None:
+                prediction = self.model.predict_from_structure(target)
+            else:
+                scheme = _AAQScheme(aaq)
+                prediction = QuantizedPPM(self.model, scheme).predict(target)
+            scores.append(tm_score_structures(prediction.structure, target))
+        return float(np.mean(scores))
+
+    def sweep_group(
+        self,
+        group: str,
+        outlier_counts: Iterable[int] = OUTLIER_SWEEP,
+        precisions: Iterable[int] = PRECISION_SWEEP,
+    ) -> List[QuantDSEPoint]:
+        """Sweep one group's scheme while the other groups keep the base config."""
+        hidden = self.ppm_config.pair_dim
+        points: List[QuantDSEPoint] = []
+        for bits in precisions:
+            for outliers in outlier_counts:
+                outliers_clamped = min(outliers, hidden)
+                candidate = TokenQuantConfig(inlier_bits=bits, outlier_count=outliers_clamped)
+                aaq = self.base_config.replace_group(group, candidate)
+                tm = self._average_tm(aaq)
+                bytes_per_token = candidate.bytes_per_token(hidden)
+                points.append(
+                    QuantDSEPoint(
+                        group=group,
+                        inlier_bits=bits,
+                        outlier_count=outliers_clamped,
+                        tm_score=tm,
+                        bytes_per_token=bytes_per_token,
+                        efficiency=efficiency_metric(tm, self.baseline_tm, bytes_per_token, hidden),
+                    )
+                )
+        return points
+
+    @staticmethod
+    def best_point(points: List[QuantDSEPoint]) -> QuantDSEPoint:
+        return max(points, key=lambda p: p.efficiency)
+
+
+class _AAQScheme:
+    """Minimal scheme adapter so QuantizedPPM can run a raw AAQConfig."""
+
+    weight_quant_bits = None
+
+    def __init__(self, config: AAQConfig) -> None:
+        self._config = config
+        self.name = "AAQ (DSE)"
+
+    def make_context(self, recorder: Optional[ActivationRecorder] = None):
+        from ..core.aaq import AAQQuantizer
+
+        return AAQQuantizer(self._config).make_context(recorder)
+
+
+def quick_group_sweep(
+    activations: Dict[str, np.ndarray],
+    group: str,
+    hidden_dim: int,
+    outlier_counts: Iterable[int] = OUTLIER_SWEEP,
+    precisions: Iterable[int] = PRECISION_SWEEP,
+) -> List[QuantDSEPoint]:
+    """RMSE-proxy variant of the Fig. 11 sweep (no model inference).
+
+    Uses recorded activations of the given group and scores configurations by
+    reconstruction error instead of TM-score; used by fast unit tests and as a
+    sanity cross-check of the full sweep.
+    """
+    tokens = activations[group]
+    signal = float(np.sqrt(np.mean(tokens ** 2))) or 1.0
+    points: List[QuantDSEPoint] = []
+    for bits in precisions:
+        for outliers in outlier_counts:
+            outliers_clamped = min(outliers, hidden_dim)
+            candidate = TokenQuantConfig(inlier_bits=bits, outlier_count=outliers_clamped)
+            rmse = token_quantization_rmse(tokens, candidate)
+            pseudo_tm = max(0.0, 1.0 - rmse / signal)
+            bytes_per_token = candidate.bytes_per_token(hidden_dim)
+            points.append(
+                QuantDSEPoint(
+                    group=group,
+                    inlier_bits=bits,
+                    outlier_count=outliers_clamped,
+                    tm_score=pseudo_tm,
+                    bytes_per_token=bytes_per_token,
+                    efficiency=efficiency_metric(pseudo_tm, 1.0, bytes_per_token, hidden_dim),
+                )
+            )
+    return points
+
+
+# ----------------------------------------------------------------- Fig. 12 DSE
+@dataclass(frozen=True)
+class HardwareDSEPoint:
+    """One point of the Fig. 12 hardware sweep."""
+
+    num_rmpus: int
+    vvpus_per_rmpu: int
+    average_latency_seconds: float
+
+
+def hardware_dse(
+    sequence_lengths: Iterable[int],
+    rmpu_counts: Iterable[int] = (1, 2, 4, 8, 16, 32, 64),
+    vvpu_counts: Iterable[int] = (1, 2, 3, 4, 5, 6, 8),
+    fixed_vvpus_per_rmpu: int = 4,
+    fixed_rmpus: int = 32,
+    config: Optional[PPMConfig] = None,
+) -> Dict[str, List[HardwareDSEPoint]]:
+    """Fig. 12: latency versus #VVPUs/RMPU (a) and versus #RMPUs (b)."""
+    config = config or PPMConfig.paper()
+    lengths = list(sequence_lengths)
+
+    def average_latency(hw: LightNobelConfig) -> float:
+        accelerator = LightNobelAccelerator(hw_config=hw, ppm_config=config)
+        return float(np.mean([accelerator.simulate(n).total_seconds for n in lengths]))
+
+    vvpu_sweep = [
+        HardwareDSEPoint(
+            num_rmpus=fixed_rmpus,
+            vvpus_per_rmpu=v,
+            average_latency_seconds=average_latency(
+                LightNobelConfig(num_rmpus=fixed_rmpus, vvpus_per_rmpu=v)
+            ),
+        )
+        for v in vvpu_counts
+    ]
+    rmpu_sweep = [
+        HardwareDSEPoint(
+            num_rmpus=r,
+            vvpus_per_rmpu=fixed_vvpus_per_rmpu,
+            average_latency_seconds=average_latency(
+                LightNobelConfig(num_rmpus=r, vvpus_per_rmpu=fixed_vvpus_per_rmpu)
+            ),
+        )
+        for r in rmpu_counts
+    ]
+    return {"vvpu_sweep": vvpu_sweep, "rmpu_sweep": rmpu_sweep}
+
+
+def saturation_point(points: List[HardwareDSEPoint], axis: str, threshold: float = 0.10) -> int:
+    """First sweep value beyond which the latency improvement drops below 10%."""
+    ordered = sorted(points, key=lambda p: getattr(p, axis))
+    for previous, current in zip(ordered, ordered[1:]):
+        gain = (previous.average_latency_seconds - current.average_latency_seconds) / max(
+            previous.average_latency_seconds, 1e-12
+        )
+        if gain < threshold:
+            return getattr(previous, axis)
+    return getattr(ordered[-1], axis)

@@ -1,0 +1,132 @@
+"""Latency breakdown (Fig. 3) and hardware performance comparison (Fig. 14b-d)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..hardware.accelerator import LightNobelAccelerator
+from ..hardware.config import LightNobelConfig
+from ..ppm.config import PPMConfig
+from ..ppm.workload import (
+    PHASE_INPUT_EMBEDDING,
+    PHASE_PAIR,
+    PHASE_SEQUENCE,
+    PHASE_STRUCTURE,
+    SUBPHASE_BIAS_MLP,
+    SUBPHASE_TRI_ATT,
+    SUBPHASE_TRI_MULT,
+)
+from ..gpu.gpu_model import GPUModel
+
+
+@dataclass
+class LatencyBreakdown:
+    """Fig. 3: share of end-to-end latency per phase/sub-phase."""
+
+    sequence_length: int
+    phase_fractions: Dict[str, float]
+    subphase_fractions: Dict[str, float]
+
+    @property
+    def folding_block_fraction(self) -> float:
+        return self.phase_fractions.get(PHASE_PAIR, 0.0) + self.phase_fractions.get(PHASE_SEQUENCE, 0.0)
+
+    @property
+    def pair_dataflow_fraction(self) -> float:
+        return self.phase_fractions.get(PHASE_PAIR, 0.0)
+
+    @property
+    def triangular_attention_fraction(self) -> float:
+        return self.subphase_fractions.get(SUBPHASE_TRI_ATT, 0.0)
+
+
+def latency_breakdown(
+    sequence_length: int,
+    gpu: str = "H100",
+    config: Optional[PPMConfig] = None,
+) -> LatencyBreakdown:
+    """End-to-end GPU latency breakdown for one protein (Fig. 3 methodology)."""
+    config = config or PPMConfig.paper()
+    report = GPUModel(gpu, ppm_config=config).simulate(sequence_length, chunked=False)
+    total = report.total_seconds or 1.0
+    phase_fractions = {phase: seconds / total for phase, seconds in report.phase_seconds.items()}
+    subphase_fractions = {sub: seconds / total for sub, seconds in report.subphase_seconds.items()}
+    return LatencyBreakdown(
+        sequence_length=sequence_length,
+        phase_fractions=phase_fractions,
+        subphase_fractions=subphase_fractions,
+    )
+
+
+@dataclass
+class HardwareComparison:
+    """Fig. 14(b-d): folding-block latency of GPUs (±chunk) vs LightNobel."""
+
+    dataset: str
+    lightnobel_seconds: float
+    gpu_seconds: Dict[str, float]  # e.g. "A100 (chunk)" -> seconds
+    out_of_memory: Dict[str, bool]
+
+    def normalized(self) -> Dict[str, float]:
+        """Latencies normalized to LightNobel (the Fig. 14 y-axis)."""
+        reference = self.lightnobel_seconds or 1.0
+        result = {"LightNobel": 1.0}
+        for name, seconds in self.gpu_seconds.items():
+            result[name] = seconds / reference
+        return result
+
+
+def compare_hardware_on_lengths(
+    dataset: str,
+    sequence_lengths: Iterable[int],
+    config: Optional[PPMConfig] = None,
+    hw_config: Optional[LightNobelConfig] = None,
+    gpus: Iterable[str] = ("A100", "H100"),
+    exclude_oom: bool = False,
+    only_oom_without_chunk: bool = False,
+) -> HardwareComparison:
+    """Average folding-block latency over a dataset's sequence lengths.
+
+    ``exclude_oom`` drops proteins that do not fit on the GPU without the
+    chunk option (the Fig. 14c protocol); ``only_oom_without_chunk`` keeps only
+    those proteins (the Fig. 14d protocol).
+    """
+    config = config or PPMConfig.paper()
+    lengths = list(sequence_lengths)
+    if not lengths:
+        raise ValueError("sequence_lengths must be non-empty")
+
+    reference_gpu = GPUModel("H100", ppm_config=config)
+    if exclude_oom:
+        lengths = [n for n in lengths if reference_gpu.fits_in_memory(n, chunked=False)]
+    if only_oom_without_chunk:
+        lengths = [n for n in lengths if not reference_gpu.fits_in_memory(n, chunked=False)]
+    if not lengths:
+        raise ValueError("no proteins remain after the OOM filter")
+
+    accelerator = LightNobelAccelerator(hw_config=hw_config, ppm_config=config)
+    lightnobel = sum(accelerator.folding_block_seconds(n) for n in lengths) / len(lengths)
+
+    gpu_seconds: Dict[str, float] = {}
+    oom: Dict[str, bool] = {}
+    for gpu_name in gpus:
+        model = GPUModel(gpu_name, ppm_config=config)
+        for chunked, label in ((True, f"{gpu_name} (chunk)"), (False, f"{gpu_name} (no chunk)")):
+            reports = [model.simulate(n, chunked=chunked) for n in lengths]
+            gpu_seconds[label] = sum(r.folding_block_seconds() for r in reports) / len(reports)
+            oom[label] = any(r.out_of_memory for r in reports)
+    return HardwareComparison(
+        dataset=dataset,
+        lightnobel_seconds=lightnobel,
+        gpu_seconds=gpu_seconds,
+        out_of_memory=oom,
+    )
+
+
+def average_speedup(comparison: HardwareComparison) -> Dict[str, float]:
+    """LightNobel speedup over each GPU configuration."""
+    return {
+        name: seconds / (comparison.lightnobel_seconds or 1.0)
+        for name, seconds in comparison.gpu_seconds.items()
+    }

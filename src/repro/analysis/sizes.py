@@ -1,0 +1,252 @@
+"""Activation/weight size, peak memory, footprint and compute-cost models.
+
+Covers Fig. 4 (activation vs weight size), Table 1 (per-scheme memory
+footprint), Fig. 15 (peak memory requirement), and Fig. 16 (computational cost
+and memory footprint versus sequence length).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..core.aaq import AAQConfig
+from ..core.schemes import QuantizationScheme, all_schemes
+from ..ppm.activation_tap import GROUP_C
+from ..ppm.config import PPMConfig
+from ..ppm.workload import (
+    ENGINE_MATMUL,
+    PHASE_PAIR,
+    PHASE_SEQUENCE,
+    Workload,
+    build_model_ops,
+    pair_activation_elements,
+    score_matrix_elements,
+    sequence_activation_elements,
+)
+from ..gpu.gpu_model import GPUModel
+
+GB = 1e9
+
+#: Trunk (folding blocks + structure module) parameter count at paper scale.
+TRUNK_PARAMETERS = 690e6
+
+
+# --------------------------------------------------------------------- Fig. 4
+@dataclass(frozen=True)
+class SizePoint:
+    """One point of the Fig. 4 curve."""
+
+    sequence_length: int
+    weight_gb: float
+    activation_gb: float
+
+    @property
+    def ratio(self) -> float:
+        return self.activation_gb / self.weight_gb if self.weight_gb else 0.0
+
+
+def weight_size_gb(config: Optional[PPMConfig] = None, include_language_model: bool = True) -> float:
+    """Total PPM weight size in GB at FP16 (Fig. 4 horizontal line)."""
+    config = config or PPMConfig.paper()
+    params = TRUNK_PARAMETERS + (config.language_model_params if include_language_model else 0.0)
+    return params * config.weight_bytes / GB
+
+
+def peak_activation_size_gb(sequence_length: int, config: Optional[PPMConfig] = None) -> float:
+    """Peak activation size of the unquantized PPM (Fig. 4 curve)."""
+    config = config or PPMConfig.paper()
+    gpu = GPUModel("H100", ppm_config=config)
+    return gpu.peak_activation_bytes(sequence_length, chunked=False) / GB
+
+
+def activation_weight_curve(
+    sequence_lengths: Iterable[int], config: Optional[PPMConfig] = None
+) -> List[SizePoint]:
+    """Fig. 4: weight size and peak activation size across sequence lengths."""
+    config = config or PPMConfig.paper()
+    weights = weight_size_gb(config)
+    return [
+        SizePoint(n, weights, peak_activation_size_gb(n, config)) for n in sequence_lengths
+    ]
+
+
+# -------------------------------------------------------------------- Table 1
+@dataclass(frozen=True)
+class FootprintRow:
+    """One row of Table 1."""
+
+    scheme: str
+    activation_grouping: str
+    activation_precision: str
+    weight_grouping: str
+    weight_precision: str
+    activation_gb: float
+    weight_gb: float
+
+    @property
+    def total_gb(self) -> float:
+        return self.activation_gb + self.weight_gb
+
+
+def total_activation_traffic_gb(sequence_length: int, config: Optional[PPMConfig] = None) -> float:
+    """Activation memory footprint of the Pair-dataflow (FP16 GB, Table 1).
+
+    Table 1 reports the activation footprint of one folding block's worth of
+    live tensors (activations are reused across the 48 blocks, and the
+    attention score matrix is excluded because all compared schemes run with
+    low-memory attention at this sequence length).
+    """
+    config = config or PPMConfig.paper()
+    workload = build_model_ops(config.with_blocks(1), sequence_length)
+    elements = sum(
+        op.output_elements
+        for op in workload.operators
+        if op.phase in (PHASE_PAIR, PHASE_SEQUENCE) and not op.fusible
+    )
+    return elements * config.activation_bytes / GB
+
+
+def footprint_table(
+    sequence_length: int = 3364,
+    config: Optional[PPMConfig] = None,
+    schemes: Optional[Dict[str, QuantizationScheme]] = None,
+) -> List[FootprintRow]:
+    """Table 1: activation/weight/total memory footprint per scheme."""
+    config = config or PPMConfig.paper()
+    schemes = schemes or all_schemes()
+    baseline_activation = total_activation_traffic_gb(sequence_length, config)
+    baseline_weight = weight_size_gb(config)
+    rows: List[FootprintRow] = []
+    for name, scheme in schemes.items():
+        activation = baseline_activation * scheme.effective_activation_bytes() / config.activation_bytes
+        weight = baseline_weight * scheme.effective_weight_bytes() / config.weight_bytes
+        desc = scheme.description
+        rows.append(
+            FootprintRow(
+                scheme=name,
+                activation_grouping=desc.activation_grouping,
+                activation_precision=desc.activation_precision,
+                weight_grouping=desc.weight_grouping,
+                weight_precision=desc.weight_precision,
+                activation_gb=activation,
+                weight_gb=weight,
+            )
+        )
+    return rows
+
+
+# -------------------------------------------------------------------- Fig. 15
+def lightnobel_peak_memory_gb(
+    sequence_length: int,
+    config: Optional[PPMConfig] = None,
+    aaq: Optional[AAQConfig] = None,
+    resident_pair_copies: int = 8,
+) -> float:
+    """Peak memory of LightNobel: quantized pair copies, no score matrix."""
+    config = config or PPMConfig.paper()
+    aaq = aaq or AAQConfig.paper_optimal()
+    hidden = config.pair_dim
+    avg_bytes = aaq.average_bits_per_value(hidden) / 8.0
+    pair = pair_activation_elements(config, sequence_length) * avg_bytes
+    seq = sequence_activation_elements(config, sequence_length) * 2.0
+    weights = TRUNK_PARAMETERS * 2.0  # 16-bit trunk weights; ESM-2 runs on the host CPU/GPU
+    return (resident_pair_copies * pair + 2 * seq + weights) / GB
+
+
+def peak_memory_comparison(
+    sequence_length: int, config: Optional[PPMConfig] = None
+) -> Dict[str, float]:
+    """Fig. 15: peak memory (GB) of baseline (±chunk) and LightNobel."""
+    config = config or PPMConfig.paper()
+    gpu = GPUModel("H100", ppm_config=config)
+    return {
+        "baseline_no_chunk": gpu.peak_memory_bytes(sequence_length, chunked=False) / GB,
+        "baseline_chunk": gpu.peak_memory_bytes(sequence_length, chunked=True) / GB,
+        "lightnobel": lightnobel_peak_memory_gb(sequence_length, config),
+    }
+
+
+def max_supported_length(
+    memory_budget_gb: float = 80.0,
+    config: Optional[PPMConfig] = None,
+    upper: int = 20000,
+) -> int:
+    """Longest sequence LightNobel fits within ``memory_budget_gb`` (Section 8.3)."""
+    config = config or PPMConfig.paper()
+    low, high = 1, upper
+    while low < high:
+        mid = (low + high + 1) // 2
+        if lightnobel_peak_memory_gb(mid, config) <= memory_budget_gb:
+            low = mid
+        else:
+            high = mid - 1
+    return low
+
+
+# -------------------------------------------------------------------- Fig. 16
+def int8_equivalent_cost(workload: Workload, aaq: Optional[AAQConfig]) -> float:
+    """Computational cost in INT8-equivalent operations (Fig. 16a metric).
+
+    Every MAC is weighted by the product of its operand precisions relative to
+    INT8 (multiplication cost scales quadratically with precision); vector
+    operations count at 16-bit cost.  ``aaq=None`` is the FP16 baseline.
+    """
+    config = workload.config
+    total = 0.0
+    for op in workload.operators:
+        if op.engine == ENGINE_MATMUL and op.macs > 0:
+            if aaq is None:
+                act_bits, weight_bits = 16.0, 16.0
+            else:
+                group = op.output_group or GROUP_C
+                group_config = aaq.config_for(group)
+                hidden = config.pair_dim
+                outliers = min(group_config.outlier_count, hidden)
+                act_bits = (
+                    (hidden - outliers) * group_config.inlier_bits + outliers * group_config.outlier_bits
+                ) / hidden
+                weight_bits = 16.0
+            total += op.macs * (act_bits / 8.0) * (weight_bits / 8.0)
+        else:
+            total += op.vector_ops * (16.0 / 8.0)
+    return total
+
+
+def computational_cost_comparison(
+    sequence_length: int, config: Optional[PPMConfig] = None
+) -> Dict[str, float]:
+    """Fig. 16a: INT8-equivalent computational cost, baseline vs LightNobel."""
+    config = config or PPMConfig.paper()
+    workload = build_model_ops(config, sequence_length)
+    return {
+        "baseline": int8_equivalent_cost(workload, None),
+        "lightnobel": int8_equivalent_cost(workload, AAQConfig.paper_optimal()),
+    }
+
+
+def memory_footprint_comparison(
+    sequence_length: int, config: Optional[PPMConfig] = None
+) -> Dict[str, float]:
+    """Fig. 16b: accumulated activation traffic (GB), baseline vs LightNobel."""
+    config = config or PPMConfig.paper()
+    workload = build_model_ops(config, sequence_length)
+    aaq = AAQConfig.paper_optimal()
+    hidden = config.pair_dim
+    baseline = 0.0
+    lightnobel = 0.0
+    for op in workload.operators:
+        if op.phase not in (PHASE_PAIR, PHASE_SEQUENCE):
+            continue
+        if op.fusible:
+            # The baseline runs with low-memory attention at these lengths and
+            # LightNobel's token-wise MHA keeps the score matrix on chip, so
+            # neither side writes it to memory.
+            continue
+        elements = op.output_elements
+        baseline += elements * config.activation_bytes
+        if op.output_group is None:
+            lightnobel += elements * config.activation_bytes
+        else:
+            lightnobel += elements * aaq.bits_per_token(hidden, op.output_group) / hidden / 8.0
+    return {"baseline": baseline / GB, "lightnobel": lightnobel / GB}

@@ -1,0 +1,116 @@
+"""Activation group classification (Section 4.2, Fig. 6).
+
+The paper groups Pair-Representation activations into three classes by two
+features measured per token: the average absolute value and the average number
+of 3-sigma outliers.
+
+* **Group A** — pre-LayerNorm residual-stream activations: large values
+  (average ≈ 82) and outliers present (≈ 2.3 per token).
+* **Group B** — post-LayerNorm activations before a linear layer: small values
+  (≈ 4.1) but outliers still present (≈ 1.7 per token).
+* **Group C** — everything else in the pair dataflow: small values (≈ 3.9) and
+  almost no outliers (≈ 0.6 per token).
+
+The PPM substrate labels its tap points structurally (it knows which
+activations sit before/after LayerNorm), so the classifier here serves two
+purposes: validating that the structural labels agree with the data-driven
+classification (a reproduction of the paper's Fig. 6c analysis) and
+classifying activations of models without structural labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from ..ppm.activation_tap import GROUP_A, GROUP_B, GROUP_C, ActivationRecord
+
+
+@dataclass(frozen=True)
+class GroupThresholds:
+    """Decision thresholds separating the three activation groups.
+
+    ``large_value`` splits Group A (above) from Groups B/C (below); the split
+    is relative to the normalized post-LayerNorm magnitude, so it is expressed
+    as a ratio of the observed median magnitude rather than an absolute value.
+    ``outlier_presence`` splits Group B (above) from Group C (below).
+    """
+
+    large_value_ratio: float = 4.0
+    outlier_presence: float = 1.0
+
+
+@dataclass(frozen=True)
+class GroupStatistics:
+    """Per-group aggregate statistics (the quantities plotted in Fig. 6c)."""
+
+    group: str
+    mean_abs: float
+    outliers_per_token: float
+    record_count: int
+
+
+def classify_record(
+    record: ActivationRecord,
+    reference_magnitude: float,
+    thresholds: GroupThresholds = GroupThresholds(),
+) -> str:
+    """Classify a single activation record into Group A, B or C."""
+    if record.mean_abs > thresholds.large_value_ratio * reference_magnitude:
+        return GROUP_A
+    if record.outlier_count_3sigma >= thresholds.outlier_presence:
+        return GROUP_B
+    return GROUP_C
+
+
+def classify_records(
+    records: Iterable[ActivationRecord],
+    thresholds: GroupThresholds = GroupThresholds(),
+) -> Dict[str, str]:
+    """Classify every record; returns a mapping of tap name to group."""
+    records = list(records)
+    if not records:
+        return {}
+    reference = float(np.median([r.mean_abs for r in records]))
+    reference = max(reference, 1e-9)
+    return {r.name: classify_record(r, reference, thresholds) for r in records}
+
+
+def group_statistics(records: Iterable[ActivationRecord]) -> List[GroupStatistics]:
+    """Aggregate Fig. 6c-style statistics from structurally labelled records."""
+    by_group: Dict[str, List[ActivationRecord]] = {GROUP_A: [], GROUP_B: [], GROUP_C: []}
+    for record in records:
+        by_group.setdefault(record.group, []).append(record)
+    stats = []
+    for group in (GROUP_A, GROUP_B, GROUP_C):
+        members = by_group[group]
+        if not members:
+            continue
+        stats.append(
+            GroupStatistics(
+                group=group,
+                mean_abs=float(np.mean([r.mean_abs for r in members])),
+                outliers_per_token=float(np.mean([r.outlier_count_3sigma for r in members])),
+                record_count=len(members),
+            )
+        )
+    return stats
+
+
+def classification_agreement(
+    records: Iterable[ActivationRecord],
+    thresholds: GroupThresholds = GroupThresholds(),
+) -> float:
+    """Fraction of records whose data-driven class matches the structural label.
+
+    Used to reproduce the paper's claim that the two features (value range and
+    outlier presence) are sufficient to separate the groups.
+    """
+    records = list(records)
+    if not records:
+        return 1.0
+    predicted = classify_records(records, thresholds)
+    matches = sum(1 for r in records if predicted[r.name] == r.group)
+    return matches / len(records)

@@ -1,0 +1,180 @@
+"""Packed memory layout for quantized tokens (Section 4.3, Fig. 7).
+
+Quantized tokens are stored as: inlier values, then outlier values, then the
+scaling factor, then outlier indices.  Multiple tokens are grouped into blocks
+sized to the memory-channel width so one block read fills a whole burst.  The
+Token Aligner of the accelerator decodes these blocks back into per-token
+scratchpad lines.
+
+The layout object below computes exact byte offsets, block packing and
+bandwidth utilization; the hardware simulator and the footprint models consume
+these numbers, and the tests assert the pack/unpack round trip is lossless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .token_quant import INDEX_BITS, SCALE_BITS, QuantizedToken, TokenQuantConfig
+
+
+@dataclass(frozen=True)
+class TokenLayout:
+    """Byte offsets of the fields of one packed token."""
+
+    inlier_bytes: float
+    outlier_bytes: float
+    scale_bytes: float
+    index_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        return self.inlier_bytes + self.outlier_bytes + self.scale_bytes + self.index_bytes
+
+    def field_offsets(self) -> Tuple[float, float, float, float]:
+        """Start offsets of (inliers, outliers, scale, indices) in bytes."""
+        inlier_start = 0.0
+        outlier_start = inlier_start + self.inlier_bytes
+        scale_start = outlier_start + self.outlier_bytes
+        index_start = scale_start + self.scale_bytes
+        return inlier_start, outlier_start, scale_start, index_start
+
+
+def token_layout(config: TokenQuantConfig, hidden_dim: int) -> TokenLayout:
+    """Field sizes (bytes) of one token quantized under ``config``."""
+    outliers = min(config.outlier_count, hidden_dim)
+    inliers = hidden_dim - outliers
+    return TokenLayout(
+        inlier_bytes=inliers * config.inlier_bits / 8.0,
+        outlier_bytes=outliers * config.outlier_bits / 8.0,
+        scale_bytes=SCALE_BITS / 8.0,
+        index_bytes=outliers * INDEX_BITS / 8.0,
+    )
+
+
+@dataclass
+class MemoryBlock:
+    """A channel-width block holding several packed tokens."""
+
+    token_indices: List[int]
+    used_bytes: float
+    capacity_bytes: float
+
+    @property
+    def utilization(self) -> float:
+        return self.used_bytes / self.capacity_bytes if self.capacity_bytes else 0.0
+
+
+@dataclass
+class BlockedLayout:
+    """Packing of a set of tokens into channel-width memory blocks."""
+
+    blocks: List[MemoryBlock]
+    token_bytes: float
+    channel_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        return len(self.blocks) * self.channel_bytes
+
+    @property
+    def payload_bytes(self) -> float:
+        return sum(block.used_bytes for block in self.blocks)
+
+    @property
+    def utilization(self) -> float:
+        return self.payload_bytes / self.total_bytes if self.blocks else 0.0
+
+
+def pack_tokens_into_blocks(
+    num_tokens: int,
+    config: TokenQuantConfig,
+    hidden_dim: int,
+    channel_bytes: int = 64,
+) -> BlockedLayout:
+    """Group ``num_tokens`` quantized tokens into channel-width blocks.
+
+    Tokens of the same quantization scheme have identical packed size, so the
+    packing is a simple greedy fill; the returned layout exposes the number of
+    blocks (memory transactions) and the achieved bandwidth utilization.
+    """
+    if channel_bytes <= 0:
+        raise ValueError("channel_bytes must be positive")
+    per_token = token_layout(config, hidden_dim).total_bytes
+    if per_token > channel_bytes:
+        # A token spans multiple channel beats; blocks hold one token each,
+        # rounded up to a whole number of beats.
+        beats = int(np.ceil(per_token / channel_bytes))
+        blocks = [
+            MemoryBlock(token_indices=[i], used_bytes=per_token, capacity_bytes=beats * channel_bytes)
+            for i in range(num_tokens)
+        ]
+        return BlockedLayout(blocks=blocks, token_bytes=per_token, channel_bytes=channel_bytes)
+
+    tokens_per_block = int(channel_bytes // per_token)
+    blocks = []
+    for start in range(0, num_tokens, tokens_per_block):
+        indices = list(range(start, min(start + tokens_per_block, num_tokens)))
+        blocks.append(
+            MemoryBlock(
+                token_indices=indices,
+                used_bytes=len(indices) * per_token,
+                capacity_bytes=channel_bytes,
+            )
+        )
+    return BlockedLayout(blocks=blocks, token_bytes=per_token, channel_bytes=channel_bytes)
+
+
+def pack_quantized_tokens(tokens: Sequence[QuantizedToken]) -> np.ndarray:
+    """Serialize quantized tokens into a flat byte-granular array (for tests).
+
+    The serialization follows the Fig. 7 field order.  Values are stored one
+    byte per field element (sub-byte fields are padded up), which keeps the
+    round trip exact; the *size accounting* used by the experiments relies on
+    :func:`token_layout`, not on this test-oriented serializer.
+    """
+    parts: List[np.ndarray] = []
+    for token in tokens:
+        parts.append(np.asarray(token.inlier_values, dtype=np.float64))
+        parts.append(np.asarray(token.outlier_values, dtype=np.float64))
+        parts.append(np.asarray([token.scale, token.outlier_scale], dtype=np.float64))
+        parts.append(np.asarray(token.outlier_indices, dtype=np.float64))
+    if not parts:
+        return np.empty(0, dtype=np.float64)
+    return np.concatenate(parts)
+
+
+def unpack_quantized_tokens(
+    packed: np.ndarray,
+    template: Sequence[QuantizedToken],
+) -> List[QuantizedToken]:
+    """Inverse of :func:`pack_quantized_tokens`, using tokens as layout templates."""
+    cursor = 0
+    restored: List[QuantizedToken] = []
+    for token in template:
+        n_in = token.inlier_values.size
+        n_out = token.outlier_values.size
+        inliers = packed[cursor:cursor + n_in]
+        cursor += n_in
+        outliers = packed[cursor:cursor + n_out]
+        cursor += n_out
+        scale, outlier_scale = packed[cursor:cursor + 2]
+        cursor += 2
+        indices = packed[cursor:cursor + n_out].astype(np.int64)
+        cursor += n_out
+        restored.append(
+            QuantizedToken(
+                inlier_values=inliers,
+                inlier_indices=token.inlier_indices,
+                outlier_values=outliers,
+                outlier_indices=indices,
+                scale=float(scale),
+                outlier_scale=float(outlier_scale),
+                hidden_dim=token.hidden_dim,
+                config=token.config,
+            )
+        )
+    return restored

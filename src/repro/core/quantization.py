@@ -1,0 +1,110 @@
+"""Uniform symmetric quantization primitives (Section 2.2 / Equation 1).
+
+All quantizers here are *fake-quantizers*: they quantize to an integer grid
+and immediately dequantize back to floating point.  That is exactly what the
+paper's accuracy study needs (the quantization error is what matters), while
+the size/footprint accounting uses the bit-widths directly.
+
+Granularities follow Section 2.2:
+
+* tensor-wise  — one scaling factor for the whole tensor,
+* channel-wise — one scaling factor per channel (last-axis index),
+* token-wise   — one scaling factor per token (vector along the last axis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def integer_bounds(bits: int) -> int:
+    """Largest representable magnitude of a signed ``bits``-bit integer grid."""
+    if bits < 2 or bits > 32:
+        raise ValueError("bits must be between 2 and 32")
+    return 2 ** (bits - 1) - 1
+
+
+def symmetric_scale(max_abs: np.ndarray | float, bits: int) -> np.ndarray | float:
+    """Scaling factor of Equation 1: ``sigma = M / (2^(m-1) - 1)``."""
+    qmax = integer_bounds(bits)
+    return np.maximum(np.asarray(max_abs, dtype=np.float64), 1e-12) / qmax
+
+
+def quantize_values(values: np.ndarray, scale: np.ndarray | float, bits: int) -> np.ndarray:
+    """Quantize ``values`` onto the signed integer grid defined by ``scale``."""
+    qmax = integer_bounds(bits)
+    quantized = np.round(values / scale)
+    return np.clip(quantized, -qmax, qmax)
+
+
+def dequantize_values(quantized: np.ndarray, scale: np.ndarray | float) -> np.ndarray:
+    """Map integer-grid values back to real values."""
+    return quantized * scale
+
+
+@dataclass(frozen=True)
+class QuantizationError:
+    """Error summary of a quantize/dequantize round trip."""
+
+    rmse: float
+    max_abs_error: float
+    relative_rmse: float
+
+
+def quantization_error(original: np.ndarray, reconstructed: np.ndarray) -> QuantizationError:
+    """RMSE / max error / relative RMSE between an array and its reconstruction."""
+    diff = np.asarray(original, dtype=np.float64) - np.asarray(reconstructed, dtype=np.float64)
+    rmse = float(np.sqrt(np.mean(diff ** 2)))
+    denom = float(np.sqrt(np.mean(np.asarray(original, dtype=np.float64) ** 2)))
+    return QuantizationError(
+        rmse=rmse,
+        max_abs_error=float(np.max(np.abs(diff))) if diff.size else 0.0,
+        relative_rmse=rmse / max(denom, 1e-12),
+    )
+
+
+def fake_quantize_tensorwise(values: np.ndarray, bits: int) -> np.ndarray:
+    """Quantize/dequantize with a single scaling factor for the whole tensor."""
+    values = np.asarray(values, dtype=np.float64)
+    scale = symmetric_scale(np.max(np.abs(values)) if values.size else 0.0, bits)
+    return dequantize_values(quantize_values(values, scale, bits), scale)
+
+
+def fake_quantize_channelwise(values: np.ndarray, bits: int) -> np.ndarray:
+    """Quantize/dequantize with one scaling factor per channel (last axis)."""
+    values = np.asarray(values, dtype=np.float64)
+    flat = values.reshape(-1, values.shape[-1])
+    max_abs = np.max(np.abs(flat), axis=0)
+    scale = symmetric_scale(max_abs, bits)
+    reconstructed = dequantize_values(quantize_values(flat, scale, bits), scale)
+    return reconstructed.reshape(values.shape)
+
+
+def fake_quantize_tokenwise(values: np.ndarray, bits: int) -> np.ndarray:
+    """Quantize/dequantize with one scaling factor per token (last-axis vector)."""
+    values = np.asarray(values, dtype=np.float64)
+    flat = values.reshape(-1, values.shape[-1])
+    max_abs = np.max(np.abs(flat), axis=-1, keepdims=True)
+    scale = symmetric_scale(max_abs, bits)
+    reconstructed = dequantize_values(quantize_values(flat, scale, bits), scale)
+    return reconstructed.reshape(values.shape)
+
+
+GRANULARITY_FUNCTIONS = {
+    "tensor": fake_quantize_tensorwise,
+    "channel": fake_quantize_channelwise,
+    "token": fake_quantize_tokenwise,
+}
+
+
+def fake_quantize(values: np.ndarray, bits: int, granularity: str = "token") -> np.ndarray:
+    """Dispatch fake quantization by granularity name."""
+    try:
+        function = GRANULARITY_FUNCTIONS[granularity]
+    except KeyError:
+        raise ValueError(
+            f"unknown granularity {granularity!r}; expected one of {sorted(GRANULARITY_FUNCTIONS)}"
+        ) from None
+    return function(values, bits)

@@ -1,0 +1,190 @@
+"""Token-wise quantization with dynamic top-k outlier handling (Section 4.1).
+
+This is the baseline quantization underlying AAQ: every token (a vector along
+the hidden dimension, e.g. a (1, 1, Hz) slice of the Pair Representation) is
+quantized independently with
+
+* a **dynamic scaling factor** computed at runtime from the token's inliers,
+* **dynamic outlier handling**: the ``k`` largest-magnitude values of the
+  token are carved out and stored separately at INT16 precision (the paper's
+  top-k selection, implemented in hardware by the VVPU's bitonic sorter),
+* **uniform symmetric quantization** of the remaining inliers at INT4/INT8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from .quantization import dequantize_values, integer_bounds, quantize_values, symmetric_scale
+
+#: Precision used for outlier values (paper: INT16 to minimize information loss).
+OUTLIER_BITS = 16
+
+#: Precision used for per-token scaling factors in the packed layout (FP16).
+SCALE_BITS = 16
+
+#: Precision used for each outlier index in the packed layout.
+INDEX_BITS = 8
+
+
+@dataclass(frozen=True)
+class TokenQuantConfig:
+    """Quantization scheme applied to one token.
+
+    Parameters mirror the knobs explored in the paper's design-space
+    exploration (Fig. 11): inlier precision (4 or 8 bit) and the number of
+    outliers handled per token (0 disables outlier handling).
+    """
+
+    inlier_bits: int = 8
+    outlier_count: int = 4
+    outlier_bits: int = OUTLIER_BITS
+
+    def __post_init__(self) -> None:
+        if self.inlier_bits not in (2, 3, 4, 6, 8, 16):
+            raise ValueError(f"unsupported inlier precision: {self.inlier_bits}")
+        if self.outlier_count < 0:
+            raise ValueError("outlier_count must be non-negative")
+        if self.outlier_bits not in (8, 16, 32):
+            raise ValueError(f"unsupported outlier precision: {self.outlier_bits}")
+
+    def bits_per_token(self, hidden_dim: int) -> float:
+        """Storage cost of one quantized token in bits (Fig. 7 layout).
+
+        inliers + outlier values + outlier indices + one scaling factor.
+        """
+        outliers = min(self.outlier_count, hidden_dim)
+        inliers = hidden_dim - outliers
+        return (
+            inliers * self.inlier_bits
+            + outliers * self.outlier_bits
+            + outliers * INDEX_BITS
+            + SCALE_BITS
+        )
+
+    def bytes_per_token(self, hidden_dim: int) -> float:
+        return self.bits_per_token(hidden_dim) / 8.0
+
+    def compression_ratio(self, hidden_dim: int, baseline_bits: int = 16) -> float:
+        """Size reduction versus an unquantized token at ``baseline_bits``."""
+        return (hidden_dim * baseline_bits) / self.bits_per_token(hidden_dim)
+
+
+@dataclass
+class QuantizedToken:
+    """One token in the packed representation of Fig. 7."""
+
+    inlier_values: np.ndarray      # signed integers on the inlier grid
+    inlier_indices: np.ndarray     # positions of inliers within the token
+    outlier_values: np.ndarray     # INT16-grid integers for outliers
+    outlier_indices: np.ndarray    # positions of outliers within the token
+    scale: float                   # per-token scaling factor (inliers)
+    outlier_scale: float           # scaling factor for the outlier grid
+    hidden_dim: int
+    config: TokenQuantConfig
+
+    def dequantize(self) -> np.ndarray:
+        """Reconstruct the token vector."""
+        token = np.zeros(self.hidden_dim, dtype=np.float64)
+        token[self.inlier_indices] = dequantize_values(self.inlier_values, self.scale)
+        if self.outlier_indices.size:
+            token[self.outlier_indices] = dequantize_values(self.outlier_values, self.outlier_scale)
+        return token
+
+    def bits(self) -> float:
+        return self.config.bits_per_token(self.hidden_dim)
+
+
+def select_outliers(token: np.ndarray, count: int) -> np.ndarray:
+    """Indices of the ``count`` largest-magnitude values of ``token`` (top-k)."""
+    if count <= 0:
+        return np.empty(0, dtype=np.int64)
+    count = min(count, token.size)
+    return np.argpartition(np.abs(token), -count)[-count:]
+
+
+def quantize_token(token: np.ndarray, config: TokenQuantConfig) -> QuantizedToken:
+    """Quantize a single token vector with dynamic outlier handling."""
+    token = np.asarray(token, dtype=np.float64).reshape(-1)
+    hidden_dim = token.size
+    outlier_indices = np.sort(select_outliers(token, config.outlier_count))
+    mask = np.ones(hidden_dim, dtype=bool)
+    mask[outlier_indices] = False
+    inlier_indices = np.nonzero(mask)[0]
+
+    inliers = token[inlier_indices]
+    outliers = token[outlier_indices]
+
+    inlier_scale = float(symmetric_scale(np.max(np.abs(inliers)) if inliers.size else 0.0, config.inlier_bits))
+    outlier_scale = float(
+        symmetric_scale(np.max(np.abs(outliers)) if outliers.size else 0.0, config.outlier_bits)
+    )
+    return QuantizedToken(
+        inlier_values=quantize_values(inliers, inlier_scale, config.inlier_bits),
+        inlier_indices=inlier_indices,
+        outlier_values=quantize_values(outliers, outlier_scale, config.outlier_bits),
+        outlier_indices=outlier_indices,
+        scale=inlier_scale,
+        outlier_scale=outlier_scale,
+        hidden_dim=hidden_dim,
+        config=config,
+    )
+
+
+def quantize_tokens(tokens: np.ndarray, config: TokenQuantConfig) -> List[QuantizedToken]:
+    """Quantize a 2-D array of tokens (rows are tokens) one token at a time."""
+    tokens = np.asarray(tokens, dtype=np.float64)
+    if tokens.ndim != 2:
+        raise ValueError("tokens must be a 2-D array of shape (num_tokens, hidden_dim)")
+    return [quantize_token(row, config) for row in tokens]
+
+
+def fake_quantize_tokens(values: np.ndarray, config: TokenQuantConfig) -> np.ndarray:
+    """Vectorized token-wise fake quantization with top-k outlier handling.
+
+    Equivalent to ``quantize_token`` + ``dequantize`` applied to every token of
+    ``values`` (tokens are vectors along the last axis), but implemented with
+    array operations so it can be injected into the PPM forward pass cheaply.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    original_shape = values.shape
+    flat = values.reshape(-1, original_shape[-1])
+    num_tokens, hidden_dim = flat.shape
+    count = min(config.outlier_count, hidden_dim)
+
+    abs_values = np.abs(flat)
+    if count > 0:
+        outlier_positions = np.argpartition(abs_values, -count, axis=-1)[:, -count:]
+        outlier_mask = np.zeros_like(flat, dtype=bool)
+        rows = np.repeat(np.arange(num_tokens), count)
+        outlier_mask[rows, outlier_positions.reshape(-1)] = True
+    else:
+        outlier_mask = np.zeros_like(flat, dtype=bool)
+
+    inlier_abs = np.where(outlier_mask, 0.0, abs_values)
+    inlier_max = inlier_abs.max(axis=-1, keepdims=True)
+    inlier_scale = symmetric_scale(inlier_max, config.inlier_bits)
+    inlier_recon = dequantize_values(
+        quantize_values(flat, inlier_scale, config.inlier_bits), inlier_scale
+    )
+
+    if count > 0:
+        outlier_abs = np.where(outlier_mask, abs_values, 0.0)
+        outlier_max = outlier_abs.max(axis=-1, keepdims=True)
+        outlier_scale = symmetric_scale(outlier_max, config.outlier_bits)
+        outlier_recon = dequantize_values(
+            quantize_values(flat, outlier_scale, config.outlier_bits), outlier_scale
+        )
+        reconstructed = np.where(outlier_mask, outlier_recon, inlier_recon)
+    else:
+        reconstructed = inlier_recon
+    return reconstructed.reshape(original_shape)
+
+
+def token_quantization_rmse(values: np.ndarray, config: TokenQuantConfig) -> float:
+    """RMSE of the token-wise fake-quantization round trip."""
+    reconstructed = fake_quantize_tokens(values, config)
+    return float(np.sqrt(np.mean((np.asarray(values, dtype=np.float64) - reconstructed) ** 2)))

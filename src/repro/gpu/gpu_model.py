@@ -1,0 +1,188 @@
+"""Analytical A100/H100 performance and memory model for the PPM baseline.
+
+The paper's GPU measurements (Nsight Systems on real hardware) show two
+regimes: without chunking, the Pair-Representation kernels are memory-bound
+and peak memory explodes with the attention score matrix; with chunking
+(OpenFold-style low-memory attention, the ``Chunk4`` option), peak memory
+drops but kernel-launch overhead and reduced tensor-core utilization inflate
+latency.  This model captures both regimes per operator of the shared
+:mod:`repro.ppm.workload` graph:
+
+* per-op latency = max(compute time, memory time) + kernel launches,
+* chunked execution splits pair-phase kernels along the first sequence axis,
+  multiplying kernel count, adding intermediate-tensor re-reads and lowering
+  tensor-core efficiency,
+* peak memory = weights + resident activations (score matrices dominate
+  without chunking).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..ppm.config import PPMConfig
+from ..ppm.workload import (
+    ENGINE_MATMUL,
+    PHASE_INPUT_EMBEDDING,
+    PHASE_PAIR,
+    PHASE_SEQUENCE,
+    PHASE_STRUCTURE,
+    Operator,
+    Workload,
+    build_model_ops,
+    pair_activation_elements,
+    score_matrix_elements,
+    sequence_activation_elements,
+)
+from .gpu_config import GPUSpec, get_gpu
+
+#: Rows processed per chunk under the Chunk4-style low-memory attention.
+CHUNK_ROWS = 4
+
+#: Tensor-core efficiency multiplier when kernels are chunked into small tiles.
+CHUNK_COMPUTE_PENALTY = 0.55
+
+#: Extra activation traffic factor from re-reading chunked intermediates.
+CHUNK_TRAFFIC_FACTOR = 1.4
+
+#: Number of live Pair-Representation copies during a folding block
+#: (input, residual, normalized, projections).
+RESIDENT_PAIR_COPIES = 6
+
+#: Resident pair copies under chunked execution: chunking removes the score
+#: matrix but keeps redundant per-chunk intermediates alive (Section 8.3).
+CHUNK_RESIDENT_PAIR_COPIES = 18
+
+#: FP16 bytes per element on the GPU baseline.
+FP16_BYTES = 2.0
+
+
+@dataclass
+class GPULatencyReport:
+    """Latency breakdown of one PPM inference on a GPU."""
+
+    gpu: str
+    sequence_length: int
+    chunked: bool
+    total_seconds: float
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    subphase_seconds: Dict[str, float] = field(default_factory=dict)
+    kernel_count: float = 0.0
+    out_of_memory: bool = False
+
+    def folding_block_seconds(self) -> float:
+        return self.phase_seconds.get(PHASE_PAIR, 0.0) + self.phase_seconds.get(PHASE_SEQUENCE, 0.0)
+
+
+class GPUModel:
+    """Roofline + kernel-overhead model of ESMFold inference on one GPU."""
+
+    def __init__(
+        self,
+        gpu: GPUSpec | str = "H100",
+        ppm_config: Optional[PPMConfig] = None,
+    ) -> None:
+        self.gpu = get_gpu(gpu) if isinstance(gpu, str) else gpu
+        self.ppm_config = ppm_config or PPMConfig.paper()
+
+    # ------------------------------------------------------------------ timing
+    def operator_seconds(self, op: Operator, chunked: bool) -> tuple:
+        """(seconds, kernel count) for one operator."""
+        compute_eff = self.gpu.effective_flops
+        chunk_applies = chunked and op.phase == PHASE_PAIR
+        if chunk_applies:
+            compute_eff *= CHUNK_COMPUTE_PENALTY
+
+        flops = op.flops
+        compute_time = flops / compute_eff if op.engine == ENGINE_MATMUL else flops / (
+            self.gpu.effective_flops * 0.1
+        )
+
+        traffic = (op.input_elements + op.output_elements) * FP16_BYTES + op.weight_elements * FP16_BYTES
+        if chunk_applies:
+            traffic *= CHUNK_TRAFFIC_FACTOR
+        memory_time = traffic / self.gpu.effective_bandwidth
+
+        if chunk_applies:
+            # Chunked pair kernels launch one kernel per CHUNK_ROWS rows of the
+            # (Ns, Ns, Hz) pair tensor, i.e. roughly Ns / CHUNK_ROWS kernels.
+            tokens = max(1.0, op.output_elements / max(self.ppm_config.pair_dim, 1))
+            rows = tokens ** 0.5
+            kernels = max(1.0, rows / CHUNK_ROWS)
+        else:
+            kernels = 1.0
+        launch_time = kernels * self.gpu.kernel_launch_us * 1e-6
+        return max(compute_time, memory_time) + launch_time, kernels
+
+    def simulate_workload(self, workload: Workload, chunked: bool = False) -> GPULatencyReport:
+        phase_seconds: Dict[str, float] = {}
+        subphase_seconds: Dict[str, float] = {}
+        total = 0.0
+        kernels = 0.0
+        for op in workload.operators:
+            seconds, op_kernels = self.operator_seconds(op, chunked)
+            total += seconds
+            kernels += op_kernels
+            phase_seconds[op.phase] = phase_seconds.get(op.phase, 0.0) + seconds
+            if op.subphase:
+                subphase_seconds[op.subphase] = subphase_seconds.get(op.subphase, 0.0) + seconds
+        oom = not self.fits_in_memory(workload.sequence_length, chunked=chunked)
+        return GPULatencyReport(
+            gpu=self.gpu.name,
+            sequence_length=workload.sequence_length,
+            chunked=chunked,
+            total_seconds=total,
+            phase_seconds=phase_seconds,
+            subphase_seconds=subphase_seconds,
+            kernel_count=kernels,
+            out_of_memory=oom,
+        )
+
+    def simulate(self, sequence_length: int, chunked: bool = False) -> GPULatencyReport:
+        workload = build_model_ops(self.ppm_config, sequence_length)
+        return self.simulate_workload(workload, chunked=chunked)
+
+    # ------------------------------------------------------------------ memory
+    def weight_bytes(self, include_language_model: bool = True) -> float:
+        """Model weights resident on the GPU (trunk + optionally ESM-2 3B)."""
+        config = self.ppm_config
+        trunk_params = 690e6  # ESMFold folding trunk + structure module
+        total = trunk_params * FP16_BYTES
+        if include_language_model:
+            total += config.language_model_params * FP16_BYTES
+        return total
+
+    def peak_activation_bytes(self, sequence_length: int, chunked: bool = False) -> float:
+        """Peak resident activation memory of the Pair-Representation dataflow."""
+        config = self.ppm_config
+        n = sequence_length
+        pair = pair_activation_elements(config, n) * FP16_BYTES
+        seq = sequence_activation_elements(config, n) * FP16_BYTES
+        resident = RESIDENT_PAIR_COPIES * pair + 2 * seq
+        if chunked:
+            # Chunking materializes only CHUNK_ROWS rows of the score matrix
+            # but keeps redundant per-chunk pair intermediates resident.
+            score = score_matrix_elements(config, n) / n * CHUNK_ROWS * FP16_BYTES
+            resident = CHUNK_RESIDENT_PAIR_COPIES * pair + 2 * seq + score
+        else:
+            score = score_matrix_elements(config, n) * FP16_BYTES
+            resident += 2.0 * score  # scores + softmax output live simultaneously
+        return resident
+
+    def peak_memory_bytes(self, sequence_length: int, chunked: bool = False) -> float:
+        return self.weight_bytes() + self.peak_activation_bytes(sequence_length, chunked=chunked)
+
+    def fits_in_memory(self, sequence_length: int, chunked: bool = False) -> bool:
+        return self.peak_memory_bytes(sequence_length, chunked=chunked) <= self.gpu.memory_gb * 1e9
+
+    def max_sequence_length(self, chunked: bool = False, upper: int = 20000) -> int:
+        """Longest sequence that fits in GPU memory (binary search)."""
+        low, high = 1, upper
+        while low < high:
+            mid = (low + high + 1) // 2
+            if self.fits_in_memory(mid, chunked=chunked):
+                low = mid
+            else:
+                high = mid - 1
+        return low

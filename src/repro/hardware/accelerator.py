@@ -1,0 +1,190 @@
+"""LightNobel accelerator: cycle-level latency simulation (Section 6).
+
+The simulator consumes the operator graph of :mod:`repro.ppm.workload` and an
+AAQ configuration, and models the three pipelined engines of the accelerator:
+
+* RMPU — bit-decomposed matrix throughput with DAL utilization,
+* VVPU — vector operations plus runtime quantization (top-k, scaling, packing),
+* HBM  — burst-aligned activation traffic at the quantized sizes.
+
+Per the paper, the overall latency of each pipeline stage is the longest of
+the engine delays for that stage; the end-to-end latency is their sum.  The
+token-wise MHA optimization (Section 5.4) keeps the attention score matrix on
+chip, which removes both its DRAM traffic and its quantization cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..core.aaq import AAQConfig
+from ..ppm.activation_tap import GROUP_C
+from ..ppm.config import PPMConfig
+from ..ppm.workload import (
+    ENGINE_MATMUL,
+    PHASE_INPUT_EMBEDDING,
+    PHASE_PAIR,
+    PHASE_SEQUENCE,
+    PHASE_STRUCTURE,
+    Operator,
+    Workload,
+    build_model_ops,
+)
+from .config import LightNobelConfig
+from .memory import HBMModel
+from .rmpu import RMPU
+from .vvpu import VVPU
+
+
+@dataclass
+class OperatorLatency:
+    """Latency contributions of one operator (in cycles)."""
+
+    name: str
+    phase: str
+    subphase: str
+    rmpu_cycles: float
+    vvpu_cycles: float
+    memory_cycles: float
+
+    @property
+    def stage_cycles(self) -> float:
+        """Pipeline-stage latency: the slowest engine bounds the stage."""
+        return max(self.rmpu_cycles, self.vvpu_cycles, self.memory_cycles)
+
+    @property
+    def bottleneck(self) -> str:
+        values = {
+            "rmpu": self.rmpu_cycles,
+            "vvpu": self.vvpu_cycles,
+            "memory": self.memory_cycles,
+        }
+        return max(values, key=values.get)
+
+
+@dataclass
+class LatencyReport:
+    """Result of simulating one PPM inference on LightNobel."""
+
+    sequence_length: int
+    total_cycles: float
+    total_seconds: float
+    operator_latencies: list = field(default_factory=list)
+    phase_cycles: Dict[str, float] = field(default_factory=dict)
+    subphase_cycles: Dict[str, float] = field(default_factory=dict)
+    dram_bytes: float = 0.0
+
+    def phase_seconds(self, clock_hz: float) -> Dict[str, float]:
+        return {phase: cycles / clock_hz for phase, cycles in self.phase_cycles.items()}
+
+    def bottleneck_share(self) -> Dict[str, float]:
+        """Fraction of stage latency bound by each engine."""
+        totals: Dict[str, float] = {"rmpu": 0.0, "vvpu": 0.0, "memory": 0.0}
+        for op in self.operator_latencies:
+            totals[op.bottleneck] += op.stage_cycles
+        total = sum(totals.values()) or 1.0
+        return {k: v / total for k, v in totals.items()}
+
+
+class LightNobelAccelerator:
+    """Latency simulator for the LightNobel accelerator."""
+
+    def __init__(
+        self,
+        hw_config: Optional[LightNobelConfig] = None,
+        ppm_config: Optional[PPMConfig] = None,
+        aaq_config: Optional[AAQConfig] = None,
+        tokenwise_mha: bool = True,
+    ) -> None:
+        self.hw_config = hw_config or LightNobelConfig.paper()
+        self.ppm_config = ppm_config or PPMConfig.paper()
+        self.aaq_config = aaq_config or AAQConfig.paper_optimal()
+        self.tokenwise_mha = tokenwise_mha
+        self.rmpu = RMPU(self.hw_config)
+        self.vvpu = VVPU(self.hw_config)
+        self.hbm = HBMModel(self.hw_config)
+
+    # ------------------------------------------------------------------ sizing
+    def activation_bytes_per_element(self, group: Optional[str]) -> float:
+        """Stored bytes per activation element for a given AAQ group."""
+        if group is None:
+            return self.ppm_config.activation_bytes
+        hidden = self.ppm_config.pair_dim
+        return self.aaq_config.bits_per_token(hidden, group) / hidden / 8.0
+
+    def operator_dram_bytes(self, op: Operator) -> float:
+        """DRAM traffic of one operator under AAQ and token-wise MHA."""
+        if op.fusible and self.tokenwise_mha:
+            return 0.0
+        in_bytes = op.input_elements * self.activation_bytes_per_element(op.output_group or GROUP_C)
+        out_bytes = op.output_elements * self.activation_bytes_per_element(op.output_group)
+        weight_bytes = op.weight_elements * 2.0  # 16-bit weights, streamed once
+        return in_bytes + out_bytes + weight_bytes
+
+    # -------------------------------------------------------------- simulation
+    def simulate_operator(self, op: Operator) -> OperatorLatency:
+        quantize_output = op.output_group is not None and not (op.fusible and self.tokenwise_mha)
+        rmpu_cycles = 0.0
+        vvpu_cycles = 0.0
+        if op.engine == ENGINE_MATMUL:
+            rmpu_cycles = self.rmpu.operator_cycles(op, aaq=self.aaq_config)
+        else:
+            vvpu_cycles = self.vvpu.operator_cycles(op)
+        if quantize_output:
+            tokens = op.output_elements / self.ppm_config.pair_dim
+            group_config = self.aaq_config.config_for(op.output_group)
+            vvpu_cycles += self.vvpu.quantization_cycles(
+                tokens, self.ppm_config.pair_dim, group_config.outlier_count
+            )
+        memory_cycles = self.hbm.transfer_cycles(self.operator_dram_bytes(op))
+        return OperatorLatency(
+            name=op.name,
+            phase=op.phase,
+            subphase=op.subphase,
+            rmpu_cycles=rmpu_cycles,
+            vvpu_cycles=vvpu_cycles,
+            memory_cycles=memory_cycles,
+        )
+
+    def simulate_workload(self, workload: Workload) -> LatencyReport:
+        operator_latencies = [self.simulate_operator(op) for op in workload.operators]
+        phase_cycles: Dict[str, float] = {}
+        subphase_cycles: Dict[str, float] = {}
+        total = 0.0
+        dram_bytes = 0.0
+        for op, latency in zip(workload.operators, operator_latencies):
+            stage = latency.stage_cycles + self.hw_config.per_op_overhead_cycles
+            total += stage
+            phase_cycles[op.phase] = phase_cycles.get(op.phase, 0.0) + stage
+            if op.subphase:
+                subphase_cycles[op.subphase] = subphase_cycles.get(op.subphase, 0.0) + stage
+            dram_bytes += self.operator_dram_bytes(op)
+        total += self.hw_config.pipeline_fill_cycles
+        return LatencyReport(
+            sequence_length=workload.sequence_length,
+            total_cycles=total,
+            total_seconds=total / self.hw_config.cycles_per_second,
+            operator_latencies=operator_latencies,
+            phase_cycles=phase_cycles,
+            subphase_cycles=subphase_cycles,
+            dram_bytes=dram_bytes,
+        )
+
+    def simulate(self, sequence_length: int, include_recycles: bool = False) -> LatencyReport:
+        """Simulate one inference at ``sequence_length`` residues."""
+        workload = build_model_ops(self.ppm_config, sequence_length, include_recycles=include_recycles)
+        return self.simulate_workload(workload)
+
+    # ------------------------------------------------------------- convenience
+    def folding_block_seconds(self, sequence_length: int) -> float:
+        """Latency of the Protein Folding Block phases only (Fig. 14b-d metric)."""
+        report = self.simulate(sequence_length)
+        cycles = report.phase_cycles.get(PHASE_PAIR, 0.0) + report.phase_cycles.get(PHASE_SEQUENCE, 0.0)
+        return cycles / self.hw_config.cycles_per_second
+
+    def accelerated_phases(self) -> tuple:
+        return (PHASE_PAIR, PHASE_SEQUENCE)
+
+    def unaccelerated_phases(self) -> tuple:
+        return (PHASE_INPUT_EMBEDDING, PHASE_STRUCTURE)

@@ -1,0 +1,156 @@
+"""Area and power model of the LightNobel accelerator (Table 2, Section 8.4).
+
+Component-level area (mm^2) and power (mW) figures follow the paper's 28 nm
+synthesis results; this module reproduces the composition (32 RMPUs, 128
+VVPUs, crossbar networks, scratchpads, controller), regenerates the Table 2
+breakdown, and computes the efficiency comparison against A100/H100.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .config import LightNobelConfig
+
+
+@dataclass(frozen=True)
+class ComponentCost:
+    """Area/power of one hardware component, possibly instantiated many times."""
+
+    name: str
+    area_mm2: float
+    power_mw: float
+    count: int = 1
+
+    @property
+    def total_area_mm2(self) -> float:
+        return self.area_mm2 * self.count
+
+    @property
+    def total_power_mw(self) -> float:
+        return self.power_mw * self.count
+
+
+@dataclass(frozen=True)
+class AreaPowerModel:
+    """Composable area/power model using the paper's per-module constants.
+
+    Per-instance constants are (area mm^2, power mW) pairs at 28 nm / 1 GHz.
+    They compose to the Table 2 totals: ~178.8 mm^2 and ~67.8 W for the
+    default 32-RMPU / 128-VVPU configuration, with the crossbar networks the
+    dominant contributor (~70% of area).
+    """
+
+    config: LightNobelConfig = LightNobelConfig.paper()
+
+    # Shared front-end
+    token_aligner: tuple = (0.005, 0.105)
+    # Per-RMPU components (sum: 1.127 mm^2, 589.147 mW per RMPU)
+    rmpu_engine: tuple = (1.017, 473.903)
+    rda: tuple = (0.005, 2.844)
+    rmpu_output_fifo: tuple = (0.105, 112.400)
+    # Per-VVPU components (sum: ~0.218 mm^2, ~72 mW per VVPU)
+    simd_lanes_128: tuple = (0.115, 36.068)
+    local_crossbar: tuple = (0.102, 35.000)
+    ssu: tuple = (0.001, 0.902)
+    # Shared back-end
+    global_crossbar: tuple = (112.400, 39668.033)
+    scratchpads: tuple = (2.023, 309.907)
+    controller_others: tuple = (0.188, 147.775)
+
+    # ------------------------------------------------------------- composition
+    def rmpu_cost(self) -> ComponentCost:
+        """One RMPU: engine + RDA + output FIFO."""
+        area = self.rmpu_engine[0] + self.rda[0] + self.rmpu_output_fifo[0]
+        power = self.rmpu_engine[1] + self.rda[1] + self.rmpu_output_fifo[1]
+        return ComponentCost("rmpu", area, power, count=self.config.num_rmpus)
+
+    def vvpu_cost(self) -> ComponentCost:
+        """One VVPU: 128 SIMD lanes + local crossbar + SSU."""
+        area = self.simd_lanes_128[0] + self.local_crossbar[0] + self.ssu[0]
+        power = self.simd_lanes_128[1] + self.local_crossbar[1] + self.ssu[1]
+        return ComponentCost("vvpu", area, power, count=self.config.num_vvpus)
+
+    def shared_costs(self) -> List[ComponentCost]:
+        return [
+            ComponentCost("token_aligner", *self.token_aligner),
+            ComponentCost("global_crossbar", *self.global_crossbar),
+            ComponentCost("scratchpads", *self.scratchpads),
+            ComponentCost("controller_and_others", *self.controller_others),
+        ]
+
+    def breakdown(self) -> Dict[str, Dict[str, float]]:
+        """Table 2: per-module totals plus the accelerator total."""
+        rows: Dict[str, Dict[str, float]] = {}
+        rmpu = self.rmpu_cost()
+        vvpu = self.vvpu_cost()
+        rows[f"RMPU (x{rmpu.count})"] = {
+            "area_mm2": rmpu.total_area_mm2,
+            "power_w": rmpu.total_power_mw / 1000.0,
+        }
+        rows[f"VVPU (x{vvpu.count})"] = {
+            "area_mm2": vvpu.total_area_mm2,
+            "power_w": vvpu.total_power_mw / 1000.0,
+        }
+        for component in self.shared_costs():
+            rows[component.name] = {
+                "area_mm2": component.total_area_mm2,
+                "power_w": component.total_power_mw / 1000.0,
+            }
+        rows["total"] = {
+            "area_mm2": sum(r["area_mm2"] for r in rows.values()),
+            "power_w": sum(r["power_w"] for r in rows.values()),
+        }
+        return rows
+
+    def total_area_mm2(self) -> float:
+        return self.breakdown()["total"]["area_mm2"]
+
+    def total_power_w(self) -> float:
+        return self.breakdown()["total"]["power_w"]
+
+    def crossbar_share(self) -> Dict[str, float]:
+        """Area/power share of the crossbar networks (GCN + all LCNs)."""
+        breakdown = self.breakdown()
+        crossbar_area = self.global_crossbar[0] + self.local_crossbar[0] * self.config.num_vvpus
+        crossbar_power_w = (
+            self.global_crossbar[1] + self.local_crossbar[1] * self.config.num_vvpus
+        ) / 1000.0
+        return {
+            "area_share": crossbar_area / breakdown["total"]["area_mm2"],
+            "power_share": crossbar_power_w / breakdown["total"]["power_w"],
+        }
+
+
+#: Reference GPU envelopes used for the efficiency comparison in Section 8.4.
+GPU_ENVELOPES = {
+    "A100": {"area_mm2": 826.0, "power_w": 300.0, "process_nm": 7},
+    "H100": {"area_mm2": 814.0, "power_w": 350.0, "process_nm": 4},
+}
+
+
+def efficiency_versus_gpu(
+    model: Optional[AreaPowerModel] = None,
+    speedup_over_gpu: Optional[Dict[str, float]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Area/power ratios and power-efficiency gain versus A100/H100.
+
+    ``speedup_over_gpu`` maps GPU name to LightNobel's measured speedup on
+    that GPU's workload; the power-efficiency gain is
+    ``speedup x (GPU power / LightNobel power)``, the quantity the abstract's
+    37.29x / 43.35x figures report.
+    """
+    model = model or AreaPowerModel()
+    speedup_over_gpu = speedup_over_gpu or {"A100": 1.0, "H100": 1.0}
+    total_area = model.total_area_mm2()
+    total_power = model.total_power_w()
+    result: Dict[str, Dict[str, float]] = {}
+    for gpu, envelope in GPU_ENVELOPES.items():
+        speedup = speedup_over_gpu.get(gpu, 1.0)
+        result[gpu] = {
+            "area_ratio": total_area / envelope["area_mm2"],
+            "power_ratio": total_power / envelope["power_w"],
+            "power_efficiency_gain": speedup * envelope["power_w"] / total_power,
+        }
+    return result

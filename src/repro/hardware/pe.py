@@ -1,0 +1,122 @@
+"""RMPU compute hierarchy: PE, PE Lane, PE Cluster and the DAL (Fig. 9).
+
+The models here answer two questions the cycle-level simulator needs:
+
+* how many minimal 4-bit multiplier units does one multiply-accumulate need,
+  given the precisions of its two operands (bit-level decomposition, Fig. 9a),
+* how many PE Lanes does one token's dot product occupy, and what hardware
+  utilization results after the DAL's 4-lane / 5-lane rounding (Fig. 9c/e).
+
+They are exercised directly by the unit tests and consumed by
+:class:`repro.hardware.rmpu.RMPU` for throughput estimation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import Tuple
+
+from ..core.token_quant import TokenQuantConfig
+
+#: Allowed PE-Lane groupings of the dynamically reconfigurable adder tree
+#: (Fig. 9d): sums over 2 PEs, 4/5/8/16 lanes, or the whole 80-lane engine.
+SUPPORTED_LANE_GROUPS: Tuple[int, ...] = (4, 5, 8, 16, 20)
+
+
+def chunks_for_bits(bits: float, chunk_bits: int = 4) -> int:
+    """Number of minimum-precision chunks needed to cover ``bits``."""
+    if bits <= 0:
+        raise ValueError("bits must be positive")
+    return int(ceil(bits / chunk_bits))
+
+
+def units_per_mac(activation_bits: float, weight_bits: float = 16, chunk_bits: int = 4) -> int:
+    """4-bit multiplier units consumed by one MAC between the two precisions."""
+    return chunks_for_bits(activation_bits, chunk_bits) * chunks_for_bits(weight_bits, chunk_bits)
+
+
+@dataclass(frozen=True)
+class ProcessingElement:
+    """One PE: 16 minimal multipliers, one 16x16-bit multiply per cycle."""
+
+    multipliers: int = 16
+    chunk_bits: int = 4
+
+    def units_for(self, activation_bits: float, weight_bits: float = 16) -> int:
+        return units_per_mac(activation_bits, weight_bits, self.chunk_bits)
+
+    def macs_per_cycle(self, activation_bits: float, weight_bits: float = 16) -> float:
+        """How many MACs of the given precision one PE retires per cycle."""
+        return self.multipliers / self.units_for(activation_bits, weight_bits)
+
+
+@dataclass(frozen=True)
+class PELane:
+    """8 PEs plus a 4-to-1 adder tree; supports the 2-PE and 8-PE dataflows."""
+
+    pes: int = 8
+    pe: ProcessingElement = ProcessingElement()
+
+    @property
+    def multiplier_units(self) -> int:
+        return self.pes * self.pe.multipliers
+
+    def macs_per_cycle(self, activation_bits: float, weight_bits: float = 16) -> float:
+        return self.pes * self.pe.macs_per_cycle(activation_bits, weight_bits)
+
+
+@dataclass(frozen=True)
+class DynamicAccumulationLogic:
+    """DAL: rounds a lane requirement up to a supported adder-tree grouping."""
+
+    def lanes_granted(self, lanes_required: float) -> int:
+        for group in SUPPORTED_LANE_GROUPS:
+            if lanes_required <= group:
+                return group
+        return SUPPORTED_LANE_GROUPS[-1]
+
+
+@dataclass(frozen=True)
+class PECluster:
+    """20 PE Lanes plus the DAL (Fig. 9c)."""
+
+    lanes: int = 20
+    lane: PELane = PELane()
+    dal: DynamicAccumulationLogic = DynamicAccumulationLogic()
+
+    @property
+    def multiplier_units(self) -> int:
+        return self.lanes * self.lane.multiplier_units
+
+    def dot_product_units(
+        self, hidden_dim: int, quant: TokenQuantConfig, weight_bits: float = 16
+    ) -> int:
+        """4-bit units needed for one quantized-token x weight-vector dot product.
+
+        Follows the paper's worked example: a 128-dim token with 124 INT4
+        inliers and 4 INT16 outliers against INT16 weights needs
+        ``4*124 + 16*4 = 560`` units.
+        """
+        outliers = min(quant.outlier_count, hidden_dim)
+        inliers = hidden_dim - outliers
+        inlier_units = inliers * units_per_mac(quant.inlier_bits, weight_bits)
+        outlier_units = outliers * units_per_mac(quant.outlier_bits, weight_bits)
+        return inlier_units + outlier_units
+
+    def lanes_required(
+        self, hidden_dim: int, quant: TokenQuantConfig, weight_bits: float = 16
+    ) -> Tuple[int, float]:
+        """(lanes granted by the DAL, resulting utilization) for one dot product."""
+        units = self.dot_product_units(hidden_dim, quant, weight_bits)
+        raw_lanes = units / self.lane.multiplier_units
+        granted = self.dal.lanes_granted(raw_lanes)
+        utilization = units / (granted * self.lane.multiplier_units)
+        return granted, utilization
+
+    def tokens_in_parallel(
+        self, hidden_dim: int, quant: TokenQuantConfig, weight_bits: float = 16
+    ) -> int:
+        """Dot products the cluster sustains per cycle under the DAL grouping."""
+        granted, _ = self.lanes_required(hidden_dim, quant, weight_bits)
+        return max(1, self.lanes // granted)

@@ -1,0 +1,52 @@
+"""GDT-TS and lDDT structure quality metrics (secondary metrics in CASP)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .kabsch import superpose
+
+
+def gdt_ts(predicted: np.ndarray, reference: np.ndarray) -> float:
+    """Global Distance Test - Total Score.
+
+    Fraction of residues within 1, 2, 4 and 8 Angstrom of the reference after
+    superposition, averaged.  Returned on a 0-1 scale.
+    """
+    predicted = np.asarray(predicted, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    if predicted.shape != reference.shape:
+        raise ValueError("predicted and reference must have the same shape")
+    aligned = superpose(predicted, reference)
+    distances = np.linalg.norm(aligned - reference, axis=1)
+    fractions = [float(np.mean(distances <= cutoff)) for cutoff in (1.0, 2.0, 4.0, 8.0)]
+    return float(np.mean(fractions))
+
+
+def lddt(
+    predicted: np.ndarray,
+    reference: np.ndarray,
+    inclusion_radius: float = 15.0,
+    exclude_neighbors: int = 1,
+) -> float:
+    """Local Distance Difference Test on CA atoms (superposition-free).
+
+    For every pair of residues within ``inclusion_radius`` in the reference,
+    the predicted pairwise distance is compared to the reference distance; the
+    score is the fraction preserved within 0.5/1/2/4 Angstrom tolerances.
+    """
+    predicted = np.asarray(predicted, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    if predicted.shape != reference.shape:
+        raise ValueError("predicted and reference must have the same shape")
+    n = predicted.shape[0]
+    ref_dist = np.linalg.norm(reference[:, None, :] - reference[None, :, :], axis=-1)
+    pred_dist = np.linalg.norm(predicted[:, None, :] - predicted[None, :, :], axis=-1)
+    idx = np.arange(n)
+    neighbor_mask = np.abs(idx[:, None] - idx[None, :]) > exclude_neighbors
+    pair_mask = (ref_dist <= inclusion_radius) & neighbor_mask
+    if not np.any(pair_mask):
+        return 1.0
+    deltas = np.abs(ref_dist - pred_dist)[pair_mask]
+    preserved = [float(np.mean(deltas <= tol)) for tol in (0.5, 1.0, 2.0, 4.0)]
+    return float(np.mean(preserved))

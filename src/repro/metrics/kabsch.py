@@ -1,0 +1,68 @@
+"""Kabsch superposition: optimal rigid-body alignment of two point sets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Superposition:
+    """Rigid transform (rotation + translation) aligning mobile onto reference."""
+
+    rotation: np.ndarray
+    translation: np.ndarray
+    rmsd: float
+
+    def apply(self, coordinates: np.ndarray) -> np.ndarray:
+        """Apply the transform to a set of coordinates of shape ``(N, 3)``."""
+        return coordinates @ self.rotation.T + self.translation
+
+
+def kabsch(mobile: np.ndarray, reference: np.ndarray, weights: np.ndarray | None = None) -> Superposition:
+    """Compute the least-squares rigid transform aligning ``mobile`` to ``reference``.
+
+    Both inputs have shape ``(N, 3)``.  ``weights`` optionally weights each
+    point (used by the iterative TM-score alignment to focus on well-aligned
+    residues).
+    """
+    mobile = np.asarray(mobile, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    if mobile.shape != reference.shape or mobile.ndim != 2 or mobile.shape[1] != 3:
+        raise ValueError("mobile and reference must both have shape (N, 3)")
+    if mobile.shape[0] == 0:
+        raise ValueError("cannot superpose empty point sets")
+
+    if weights is None:
+        weights = np.ones(mobile.shape[0])
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (mobile.shape[0],):
+        raise ValueError("weights must have shape (N,)")
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    w = weights / total
+
+    mobile_center = (w[:, None] * mobile).sum(axis=0)
+    reference_center = (w[:, None] * reference).sum(axis=0)
+    mobile_centered = mobile - mobile_center
+    reference_centered = reference - reference_center
+
+    covariance = (w[:, None] * mobile_centered).T @ reference_centered
+    u, _, vt = np.linalg.svd(covariance)
+    d = np.sign(np.linalg.det(vt.T @ u.T))
+    correction = np.diag([1.0, 1.0, d])
+    rotation = vt.T @ correction @ u.T
+
+    aligned = mobile_centered @ rotation.T + reference_center
+    diff = aligned - reference
+    rmsd = float(np.sqrt(np.mean(np.sum(diff * diff, axis=1))))
+    translation = reference_center - (mobile_center @ rotation.T)
+    return Superposition(rotation=rotation, translation=translation, rmsd=rmsd)
+
+
+def superpose(mobile: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Return ``mobile`` rigidly superposed onto ``reference``."""
+    transform = kabsch(mobile, reference)
+    return transform.apply(mobile)

@@ -1,0 +1,69 @@
+"""Protein Structure Prediction Model substrate (ESMFold-like folding trunk)."""
+
+from .activation_tap import (
+    GROUP_A,
+    GROUP_B,
+    GROUP_C,
+    GROUPS,
+    ActivationContext,
+    ActivationRecord,
+    ActivationRecorder,
+    TransformingContext,
+    summarize_activation,
+)
+from .attention import OuterProductMean, SequenceAttention
+from .config import PPMConfig
+from .embedding import EmbeddingOutput, InputEmbedding, StructurePrior
+from .folding_block import FoldingBlock, FoldingTrunk, TrunkOutput
+from .functional import gelu, layer_norm, relu, sigmoid, softmax
+from .model import PredictionResult, ProteinStructureModel
+from .modules import LayerNorm, Linear, Module, Transition
+from .structure_module import (
+    StructureModule,
+    StructurePrediction,
+    mds_embedding,
+    mean_torsion_sign,
+    resolve_chirality,
+    stress_refinement,
+)
+from .triangle import TriangleAttention, TriangleMultiplication
+
+__all__ = [
+    "GROUP_A",
+    "GROUP_B",
+    "GROUP_C",
+    "GROUPS",
+    "ActivationContext",
+    "ActivationRecord",
+    "ActivationRecorder",
+    "EmbeddingOutput",
+    "FoldingBlock",
+    "FoldingTrunk",
+    "InputEmbedding",
+    "LayerNorm",
+    "Linear",
+    "Module",
+    "OuterProductMean",
+    "PPMConfig",
+    "PredictionResult",
+    "ProteinStructureModel",
+    "SequenceAttention",
+    "StructureModule",
+    "StructurePrediction",
+    "StructurePrior",
+    "Transition",
+    "TransformingContext",
+    "TriangleAttention",
+    "TriangleMultiplication",
+    "TrunkOutput",
+    "gelu",
+    "layer_norm",
+    "mds_embedding",
+    "mean_torsion_sign",
+    "relu",
+    "resolve_chirality",
+    "sigmoid",
+    "softmax",
+    "stress_refinement",
+    "summarize_activation",
+]

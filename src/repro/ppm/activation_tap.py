@@ -1,0 +1,157 @@
+"""Activation tap points: recording and transforming PPM activations.
+
+The paper's contribution (AAQ) acts on the activations of the Pair
+Representation dataflow.  To keep the model code independent of any particular
+quantization scheme, every module reports its activations through an
+:class:`ActivationContext`.  The default context is a no-op; an
+:class:`ActivationRecorder` collects statistics for the analysis experiments
+(Fig. 5, Fig. 6c); the quantization contexts in :mod:`repro.ppm.quantized`
+fake-quantize the activation in place, which is how the accuracy experiments
+(Fig. 11, Fig. 13) inject quantization error.
+
+Activation groups follow Section 4.2 of the paper:
+
+* ``GROUP_A`` — residual-stream activations entering a LayerNorm (large values,
+  outliers present, need high precision + outlier handling).
+* ``GROUP_B`` — LayerNorm outputs that have not yet passed a linear layer
+  (small values, outliers still present).
+* ``GROUP_C`` — remaining pair-dataflow activations (small values, few
+  outliers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+GROUP_A = "A"
+GROUP_B = "B"
+GROUP_C = "C"
+GROUPS = (GROUP_A, GROUP_B, GROUP_C)
+
+
+@dataclass
+class ActivationRecord:
+    """Summary statistics of one activation tensor observed at a tap point."""
+
+    name: str
+    group: str
+    shape: tuple
+    mean_abs: float
+    max_abs: float
+    std: float
+    outlier_count_3sigma: float
+    token_count: int
+
+    @property
+    def elements(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= dim
+        return count
+
+
+class ActivationContext:
+    """Base context: passes activations through unchanged and records nothing."""
+
+    def process(self, name: str, group: str, value: np.ndarray) -> np.ndarray:
+        """Hook invoked at every tap point; returns the (possibly new) activation."""
+        return value
+
+
+#: Shared do-nothing context used when the caller does not supply one.
+NULL_CONTEXT = ActivationContext()
+
+
+def summarize_activation(name: str, group: str, value: np.ndarray) -> ActivationRecord:
+    """Build an :class:`ActivationRecord` from an activation tensor.
+
+    Tokens are vectors along the last (channel) axis, as in the paper; the
+    3-sigma outlier count is averaged per token.
+    """
+    flat = value.reshape(-1, value.shape[-1]) if value.ndim >= 2 else value.reshape(1, -1)
+    abs_values = np.abs(flat)
+    std = float(flat.std())
+    per_token_std = flat.std(axis=-1, keepdims=True)
+    per_token_mean = flat.mean(axis=-1, keepdims=True)
+    outliers = np.abs(flat - per_token_mean) > 3.0 * np.maximum(per_token_std, 1e-12)
+    return ActivationRecord(
+        name=name,
+        group=group,
+        shape=tuple(value.shape),
+        mean_abs=float(abs_values.mean()),
+        max_abs=float(abs_values.max()),
+        std=std,
+        outlier_count_3sigma=float(outliers.sum(axis=-1).mean()),
+        token_count=int(flat.shape[0]),
+    )
+
+
+@dataclass
+class ActivationRecorder(ActivationContext):
+    """Context that records per-tap statistics (and optionally raw samples)."""
+
+    keep_arrays: bool = False
+    max_kept_tokens: int = 4096
+    records: List[ActivationRecord] = field(default_factory=list)
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+    _rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
+
+    def process(self, name: str, group: str, value: np.ndarray) -> np.ndarray:
+        self.records.append(summarize_activation(name, group, value))
+        if self.keep_arrays:
+            flat = value.reshape(-1, value.shape[-1])
+            if flat.shape[0] > self.max_kept_tokens:
+                idx = self._rng.choice(flat.shape[0], size=self.max_kept_tokens, replace=False)
+                flat = flat[idx]
+            self.arrays[name] = np.array(flat, copy=True)
+        return value
+
+    def by_group(self) -> Dict[str, List[ActivationRecord]]:
+        """Group the collected records by activation group."""
+        grouped: Dict[str, List[ActivationRecord]] = {g: [] for g in GROUPS}
+        for record in self.records:
+            grouped.setdefault(record.group, []).append(record)
+        return grouped
+
+    def group_summary(self) -> Dict[str, Dict[str, float]]:
+        """Average value magnitude and outlier count per group (Fig. 6c)."""
+        summary: Dict[str, Dict[str, float]] = {}
+        for group, records in self.by_group().items():
+            if not records:
+                continue
+            summary[group] = {
+                "mean_abs": float(np.mean([r.mean_abs for r in records])),
+                "outliers_per_token": float(np.mean([r.outlier_count_3sigma for r in records])),
+                "max_abs": float(np.max([r.max_abs for r in records])),
+                "count": float(len(records)),
+            }
+        return summary
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.arrays.clear()
+
+
+@dataclass
+class TransformingContext(ActivationContext):
+    """Context that applies a per-group transformation to every activation.
+
+    ``transforms`` maps group name to a callable ``f(array) -> array``; groups
+    without an entry pass through unchanged.  The quantization experiments use
+    this with fake-quantization callables built from the schemes in
+    :mod:`repro.core`.
+    """
+
+    transforms: Dict[str, Callable[[np.ndarray], np.ndarray]] = field(default_factory=dict)
+    recorder: Optional[ActivationRecorder] = None
+
+    def process(self, name: str, group: str, value: np.ndarray) -> np.ndarray:
+        if self.recorder is not None:
+            self.recorder.process(name, group, value)
+        transform = self.transforms.get(group)
+        if transform is None:
+            return value
+        return transform(value)

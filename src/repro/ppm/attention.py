@@ -1,0 +1,96 @@
+"""Sequence-representation attention with pair bias, and outer product mean.
+
+The Sequence Representation dataflow of the folding block (Fig. 2b) consists
+of a pair-biased self-attention over the sequence representation followed by a
+transition MLP; the sequence representation then feeds back into the pair
+representation through the Outer Product Mean.  These blocks account for a
+small share of the runtime at long sequence length (Fig. 3b) but they are the
+source of the "unpredictable outliers ... due to biasing and merging with
+Sequence Representation" that motivates dynamic outlier handling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .activation_tap import GROUP_C, ActivationContext, NULL_CONTEXT
+from .config import PPMConfig
+from .functional import sigmoid, softmax
+from .modules import LayerNorm, Linear, Module
+
+
+class SequenceAttention(Module):
+    """Self-attention over the sequence representation with an additive pair bias."""
+
+    def __init__(self, config: PPMConfig, rng: np.random.Generator, name: str = "sequence_attention") -> None:
+        super().__init__(name)
+        self.num_heads = config.seq_num_heads
+        if config.seq_dim % self.num_heads != 0:
+            raise ValueError("seq_dim must be divisible by seq_num_heads")
+        self.head_dim = config.seq_dim // self.num_heads
+        seq_dim = config.seq_dim
+        self.layer_norm = self.register_child("layer_norm", LayerNorm(seq_dim, "layer_norm"))
+        self.pair_norm = self.register_child("pair_norm", LayerNorm(config.pair_dim, "pair_norm"))
+        self.linear_q = self.register_child("linear_q", Linear(seq_dim, seq_dim, rng, "linear_q", bias=False))
+        self.linear_k = self.register_child("linear_k", Linear(seq_dim, seq_dim, rng, "linear_k", bias=False))
+        self.linear_v = self.register_child("linear_v", Linear(seq_dim, seq_dim, rng, "linear_v", bias=False))
+        self.linear_bias = self.register_child(
+            "linear_bias", Linear(config.pair_dim, self.num_heads, rng, "linear_bias", bias=False)
+        )
+        self.linear_g = self.register_child("linear_g", Linear(seq_dim, seq_dim, rng, "linear_g", init="gating"))
+        self.linear_o = self.register_child("linear_o", Linear(seq_dim, seq_dim, rng, "linear_o", init="final"))
+
+    def forward(
+        self, sequence: np.ndarray, pair: np.ndarray, ctx: ActivationContext = NULL_CONTEXT
+    ) -> np.ndarray:
+        """Residual update for the sequence representation (Ns, Hm)."""
+        normalized = self.layer_norm(sequence)
+        q = self.linear_q(normalized).reshape(-1, self.num_heads, self.head_dim)
+        k = self.linear_k(normalized).reshape(-1, self.num_heads, self.head_dim)
+        v = self.linear_v(normalized).reshape(-1, self.num_heads, self.head_dim)
+
+        bias = self.linear_bias(self.pair_norm(pair))          # (Ns, Ns, H)
+        bias = ctx.process(f"{self.name}.pair_bias", GROUP_C, bias)
+        bias = bias.transpose(2, 0, 1)                          # (H, Ns, Ns)
+
+        scores = np.einsum("qhd,khd->hqk", q, k) / np.sqrt(self.head_dim)
+        weights = softmax(scores + bias, axis=-1)
+        attended = np.einsum("hqk,khd->qhd", weights, v).reshape(sequence.shape[0], -1)
+
+        gate = sigmoid(self.linear_g(normalized))
+        return self.linear_o(attended * gate)
+
+    __call__ = forward
+
+
+class OuterProductMean(Module):
+    """Project the sequence representation into a pair-representation update."""
+
+    def __init__(
+        self,
+        config: PPMConfig,
+        rng: np.random.Generator,
+        hidden_dim: int = 32,
+        name: str = "outer_product_mean",
+    ) -> None:
+        super().__init__(name)
+        hidden_dim = min(hidden_dim, config.seq_dim)
+        self.hidden_dim = hidden_dim
+        self.layer_norm = self.register_child("layer_norm", LayerNorm(config.seq_dim, "layer_norm"))
+        self.linear_a = self.register_child("linear_a", Linear(config.seq_dim, hidden_dim, rng, "linear_a"))
+        self.linear_b = self.register_child("linear_b", Linear(config.seq_dim, hidden_dim, rng, "linear_b"))
+        self.linear_o = self.register_child(
+            "linear_o", Linear(hidden_dim * hidden_dim, config.pair_dim, rng, "linear_o", init="final")
+        )
+
+    def forward(self, sequence: np.ndarray, ctx: ActivationContext = NULL_CONTEXT) -> np.ndarray:
+        """Pair-representation update of shape (Ns, Ns, Hz) from a (Ns, Hm) input."""
+        normalized = self.layer_norm(sequence)
+        a = self.linear_a(normalized)
+        b = self.linear_b(normalized)
+        outer = np.einsum("ic,jd->ijcd", a, b).reshape(a.shape[0], b.shape[0], -1)
+        outer = outer / np.sqrt(self.hidden_dim)
+        outer = ctx.process(f"{self.name}.outer", GROUP_C, outer)
+        return self.linear_o(outer)
+
+    __call__ = forward

@@ -1,0 +1,102 @@
+"""Model configuration for the Protein Structure Prediction Model substrate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class PPMConfig:
+    """Dimensions and hyper-parameters of the ESMFold-like folding trunk.
+
+    ``paper()`` matches the dimensions the paper uses (ESMFold folding trunk:
+    pair dim 128, sequence dim 1024, 48 folding blocks, head dim 32).  The
+    paper-scale configuration is only used by analytical cost/latency/memory
+    models; configurations actually executed numerically (accuracy
+    experiments, unit tests) use the reduced ``small()``/``tiny()`` variants,
+    which preserve the dataflow graph and relative tensor shapes.
+    """
+
+    pair_dim: int = 128            # Hz: hidden dim of the Pair Representation
+    seq_dim: int = 1024            # Hm: hidden dim of the Sequence Representation
+    num_blocks: int = 48           # number of Protein Folding Blocks
+    num_heads: int = 4             # attention heads in triangular attention
+    head_dim: int = 32             # per-head dimension
+    triangle_hidden: int = 128     # hidden dim of triangular multiplication
+    transition_factor: int = 4     # MLP expansion factor in transitions
+    seq_num_heads: int = 8         # heads in sequence self-attention
+    num_recycles: int = 0          # recycling iterations (0 = single pass)
+    distogram_channels: int = 16   # pair channels reserved for distance signal
+    prior_noise: float = 0.6       # Angstrom-scale noise of the structure prior
+    residual_scale: float = 0.1    # scale of sub-layer updates added to residuals
+    weight_bytes: float = 2.0      # bytes per weight element (FP16 baseline)
+    activation_bytes: float = 2.0  # bytes per activation element (FP16 baseline)
+    language_model_params: float = 3.0e9  # ESM-2 3B input-embedding model
+
+    def __post_init__(self) -> None:
+        if self.pair_dim <= 0 or self.seq_dim <= 0 or self.num_blocks <= 0:
+            raise ValueError("dimensions and block count must be positive")
+        if self.num_heads * self.head_dim > 4 * self.pair_dim:
+            raise ValueError("attention width is unreasonably large for the pair dim")
+        if self.distogram_channels > self.pair_dim:
+            raise ValueError("distogram_channels cannot exceed pair_dim")
+
+    @classmethod
+    def paper(cls) -> "PPMConfig":
+        """Paper-scale ESMFold folding-trunk configuration."""
+        return cls(
+            pair_dim=128,
+            seq_dim=1024,
+            num_blocks=48,
+            num_heads=4,
+            head_dim=32,
+            triangle_hidden=128,
+            transition_factor=4,
+            seq_num_heads=8,
+            num_recycles=3,
+        )
+
+    @classmethod
+    def small(cls) -> "PPMConfig":
+        """Reduced configuration used for numeric accuracy experiments."""
+        return cls(
+            pair_dim=32,
+            seq_dim=64,
+            num_blocks=4,
+            num_heads=2,
+            head_dim=8,
+            triangle_hidden=32,
+            transition_factor=2,
+            seq_num_heads=2,
+            num_recycles=0,
+            distogram_channels=8,
+        )
+
+    @classmethod
+    def tiny(cls) -> "PPMConfig":
+        """Minimal configuration used by unit tests."""
+        return cls(
+            pair_dim=16,
+            seq_dim=24,
+            num_blocks=2,
+            num_heads=2,
+            head_dim=4,
+            triangle_hidden=16,
+            transition_factor=2,
+            seq_num_heads=2,
+            num_recycles=0,
+            distogram_channels=6,
+        )
+
+    def with_blocks(self, num_blocks: int) -> "PPMConfig":
+        """Copy of this configuration with a different folding-block count."""
+        return replace(self, num_blocks=num_blocks)
+
+    def with_recycles(self, num_recycles: int) -> "PPMConfig":
+        """Copy of this configuration with a different recycling count."""
+        return replace(self, num_recycles=num_recycles)
+
+    @property
+    def attention_dim(self) -> int:
+        """Total width of the triangular attention projections."""
+        return self.num_heads * self.head_dim

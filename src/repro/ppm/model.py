@@ -1,0 +1,118 @@
+"""End-to-end Protein Structure Prediction Model (PPM).
+
+Composes the input embedding, the folding trunk (48 blocks at paper scale) and
+the structure module, with optional recycling, mirroring Fig. 2a.  The model
+can be run with any :class:`~repro.ppm.activation_tap.ActivationContext`, which
+is how the quantization experiments inject AAQ or a baseline scheme into every
+Pair-Representation activation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..proteins.sequence import ProteinSequence
+from ..proteins.structure import ProteinStructure
+from .activation_tap import ActivationContext, NULL_CONTEXT
+from .config import PPMConfig
+from .embedding import EmbeddingOutput, InputEmbedding, StructurePrior
+from .folding_block import FoldingTrunk
+from .structure_module import StructureModule, StructurePrediction
+
+
+@dataclass
+class PredictionResult:
+    """Full output of a PPM prediction."""
+
+    structure: ProteinStructure
+    predicted_distances: np.ndarray
+    confidence: np.ndarray
+    pair_representation: np.ndarray
+    sequence_representation: np.ndarray
+
+
+class ProteinStructureModel:
+    """The full PPM: input embedding -> folding trunk -> structure module."""
+
+    def __init__(self, config: Optional[PPMConfig] = None, seed: int = 0) -> None:
+        self.config = config or PPMConfig.small()
+        rng = np.random.default_rng(seed)
+        self.input_embedding = InputEmbedding(self.config, rng)
+        self.trunk = FoldingTrunk(self.config, rng)
+        self.structure_module = StructureModule(self.config, rng)
+        self.prior = StructurePrior(noise_scale=self.config.prior_noise, seed=seed)
+
+    # ------------------------------------------------------------------ weights
+    def parameter_count(self) -> int:
+        """Number of trunk + structure-module parameters (embedding excluded)."""
+        return (
+            self.input_embedding.parameter_count()
+            + self.trunk.parameter_count()
+            + self.structure_module.parameter_count()
+        )
+
+    def weight_bytes(self) -> float:
+        """Weight memory in bytes at the configured weight precision."""
+        return self.parameter_count() * self.config.weight_bytes
+
+    # -------------------------------------------------------------- prediction
+    def embed(
+        self,
+        sequence: ProteinSequence,
+        reference: Optional[ProteinStructure] = None,
+        ctx: ActivationContext = NULL_CONTEXT,
+    ) -> EmbeddingOutput:
+        """Run the input embedding, optionally seeding the structure prior."""
+        prior_distances = None
+        if reference is not None:
+            prior_distances = self.prior.distances(reference)
+        return self.input_embedding(sequence, prior_distances=prior_distances, ctx=ctx)
+
+    def predict(
+        self,
+        sequence: ProteinSequence,
+        reference: Optional[ProteinStructure] = None,
+        ctx: ActivationContext = NULL_CONTEXT,
+        num_recycles: Optional[int] = None,
+    ) -> PredictionResult:
+        """Predict the structure of ``sequence``.
+
+        ``reference`` provides the synthetic language-model prior (see
+        :mod:`repro.ppm.embedding`); when omitted the model runs purely from
+        the sequence, which exercises the same dataflow but yields low-accuracy
+        structures (useful for latency/shape tests).
+        """
+        recycles = self.config.num_recycles if num_recycles is None else num_recycles
+        embedded = self.embed(sequence, reference=reference, ctx=ctx)
+        sequence_rep = embedded.sequence_representation
+        pair_rep = embedded.pair_representation
+
+        prediction: Optional[StructurePrediction] = None
+        for _ in range(recycles + 1):
+            trunk_out = self.trunk(sequence_rep, pair_rep, ctx)
+            sequence_rep = trunk_out.sequence_representation
+            pair_rep = trunk_out.pair_representation
+            prediction = self.structure_module(sequence_rep, pair_rep, sequence, ctx)
+
+        assert prediction is not None
+        return PredictionResult(
+            structure=prediction.structure,
+            predicted_distances=prediction.predicted_distances,
+            confidence=prediction.plddt_like_confidence,
+            pair_representation=pair_rep,
+            sequence_representation=sequence_rep,
+        )
+
+    def predict_from_structure(
+        self,
+        reference: ProteinStructure,
+        ctx: ActivationContext = NULL_CONTEXT,
+        num_recycles: Optional[int] = None,
+    ) -> PredictionResult:
+        """Convenience wrapper: predict a known target from its own sequence."""
+        return self.predict(
+            reference.sequence, reference=reference, ctx=ctx, num_recycles=num_recycles
+        )

@@ -1,0 +1,48 @@
+"""Protein substrate: sequences, synthetic structures, datasets, PDB I/O."""
+
+from .amino_acids import (
+    AMINO_ACIDS,
+    VOCABULARY_SIZE,
+    decode_sequence,
+    encode_sequence,
+    is_valid_residue,
+    residue,
+)
+from .datasets import (
+    DATASET_NAMES,
+    DatasetCatalog,
+    DatasetTarget,
+    accuracy_datasets,
+    build_all_catalogs,
+    build_catalog,
+)
+from .pdb_io import read_pdb, structure_to_pdb, write_pdb
+from .sequence import ProteinSequence, random_sequence
+from .structure import ProteinStructure, default_distogram_bins, distance_matrix_to_gram
+from .synthetic import generate_backbone, generate_protein, perturb_structure
+
+__all__ = [
+    "AMINO_ACIDS",
+    "VOCABULARY_SIZE",
+    "DATASET_NAMES",
+    "DatasetCatalog",
+    "DatasetTarget",
+    "ProteinSequence",
+    "ProteinStructure",
+    "accuracy_datasets",
+    "build_all_catalogs",
+    "build_catalog",
+    "decode_sequence",
+    "default_distogram_bins",
+    "distance_matrix_to_gram",
+    "encode_sequence",
+    "generate_backbone",
+    "generate_protein",
+    "is_valid_residue",
+    "perturb_structure",
+    "random_sequence",
+    "read_pdb",
+    "residue",
+    "structure_to_pdb",
+    "write_pdb",
+]

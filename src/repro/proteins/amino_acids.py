@@ -1,0 +1,117 @@
+"""Amino-acid alphabet and residue-level properties.
+
+The Protein Structure Prediction Model (PPM) substrate only needs a
+lightweight notion of residues: a canonical 20-letter alphabet, an integer
+encoding used by the input embedding, and a handful of physico-chemical
+properties that the synthetic structure generator uses to bias secondary
+structure (helix/sheet propensities follow the Chou-Fasman scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+#: Canonical one-letter amino-acid codes, in a fixed order used for encoding.
+AMINO_ACIDS: str = "ACDEFGHIKLMNPQRSTVWY"
+
+#: Token index reserved for unknown residues (e.g. ``X``).
+UNKNOWN_INDEX: int = len(AMINO_ACIDS)
+
+#: Size of the residue vocabulary including the unknown token.
+VOCABULARY_SIZE: int = len(AMINO_ACIDS) + 1
+
+THREE_LETTER_CODES: Dict[str, str] = {
+    "A": "ALA", "C": "CYS", "D": "ASP", "E": "GLU", "F": "PHE",
+    "G": "GLY", "H": "HIS", "I": "ILE", "K": "LYS", "L": "LEU",
+    "M": "MET", "N": "ASN", "P": "PRO", "Q": "GLN", "R": "ARG",
+    "S": "SER", "T": "THR", "V": "VAL", "W": "TRP", "Y": "TYR",
+}
+
+ONE_LETTER_CODES: Dict[str, str] = {v: k for k, v in THREE_LETTER_CODES.items()}
+
+#: Chou-Fasman helix propensities (relative scale).
+HELIX_PROPENSITY: Dict[str, float] = {
+    "A": 1.42, "C": 0.70, "D": 1.01, "E": 1.51, "F": 1.13,
+    "G": 0.57, "H": 1.00, "I": 1.08, "K": 1.16, "L": 1.21,
+    "M": 1.45, "N": 0.67, "P": 0.57, "Q": 1.11, "R": 0.98,
+    "S": 0.77, "T": 0.83, "V": 1.06, "W": 1.08, "Y": 0.69,
+}
+
+#: Chou-Fasman beta-sheet propensities (relative scale).
+SHEET_PROPENSITY: Dict[str, float] = {
+    "A": 0.83, "C": 1.19, "D": 0.54, "E": 0.37, "F": 1.38,
+    "G": 0.75, "H": 0.87, "I": 1.60, "K": 0.74, "L": 1.30,
+    "M": 1.05, "N": 0.89, "P": 0.55, "Q": 1.10, "R": 0.93,
+    "S": 0.75, "T": 1.19, "V": 1.70, "W": 1.37, "Y": 1.47,
+}
+
+#: Kyte-Doolittle hydropathy index.
+HYDROPATHY: Dict[str, float] = {
+    "A": 1.8, "C": 2.5, "D": -3.5, "E": -3.5, "F": 2.8,
+    "G": -0.4, "H": -3.2, "I": 4.5, "K": -3.9, "L": 3.8,
+    "M": 1.9, "N": -3.5, "P": -1.6, "Q": -3.5, "R": -4.5,
+    "S": -0.8, "T": -0.7, "V": 4.2, "W": -0.9, "Y": -1.3,
+}
+
+
+@dataclass(frozen=True)
+class Residue:
+    """A single residue with the properties used by the synthetic generator."""
+
+    code: str
+    index: int
+    helix_propensity: float
+    sheet_propensity: float
+    hydropathy: float
+
+    @property
+    def three_letter(self) -> str:
+        return THREE_LETTER_CODES[self.code]
+
+
+_RESIDUE_TABLE: Dict[str, Residue] = {
+    code: Residue(
+        code=code,
+        index=i,
+        helix_propensity=HELIX_PROPENSITY[code],
+        sheet_propensity=SHEET_PROPENSITY[code],
+        hydropathy=HYDROPATHY[code],
+    )
+    for i, code in enumerate(AMINO_ACIDS)
+}
+
+
+def residue(code: str) -> Residue:
+    """Look up the :class:`Residue` for a one-letter code.
+
+    Unknown codes raise ``KeyError`` so callers notice malformed sequences.
+    """
+    return _RESIDUE_TABLE[code.upper()]
+
+
+def is_valid_residue(code: str) -> bool:
+    """Return True if ``code`` is one of the 20 canonical one-letter codes."""
+    return code.upper() in _RESIDUE_TABLE
+
+
+def encode_sequence(sequence: str) -> List[int]:
+    """Encode a one-letter sequence into integer token indices.
+
+    Non-canonical residues map to :data:`UNKNOWN_INDEX`.
+    """
+    return [
+        _RESIDUE_TABLE[ch.upper()].index if ch.upper() in _RESIDUE_TABLE else UNKNOWN_INDEX
+        for ch in sequence
+    ]
+
+
+def decode_sequence(indices: List[int]) -> str:
+    """Decode integer token indices back into a one-letter sequence."""
+    out = []
+    for idx in indices:
+        if 0 <= idx < len(AMINO_ACIDS):
+            out.append(AMINO_ACIDS[idx])
+        else:
+            out.append("X")
+    return "".join(out)

@@ -1,0 +1,155 @@
+"""Synthetic dataset catalogues mirroring CAMEO and CASP14/15/16.
+
+The paper evaluates on protein targets from CAMEO, CASP14, CASP15 and CASP16.
+Ground-truth structures for those targets are not available offline, so we
+build synthetic catalogues with the same *sequence-length distributions* —
+which is what every latency/memory experiment depends on — and synthetic
+ground-truth structures, which is what the accuracy experiments depend on.
+Named anchor targets used in the paper (R0271 = 77 aa, T1269 = 1,410 aa,
+T1169 = 3,364 aa, the 6,879 aa longest CASP16 target) are present with their
+exact lengths.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from .structure import ProteinStructure
+from .synthetic import generate_protein
+
+
+@dataclass(frozen=True)
+class DatasetTarget:
+    """One protein target in a dataset catalogue."""
+
+    name: str
+    length: int
+    dataset: str
+    has_ground_truth: bool = True
+
+
+#: Paper anchor targets, by dataset.
+ANCHOR_TARGETS: Dict[str, List[DatasetTarget]] = {
+    "CASP16": [
+        DatasetTarget("R0271", 77, "CASP16", has_ground_truth=False),
+        DatasetTarget("T1269", 1410, "CASP16", has_ground_truth=False),
+        DatasetTarget("T1299", 6879, "CASP16", has_ground_truth=False),
+    ],
+    "CASP15": [
+        DatasetTarget("T1169", 3364, "CASP15"),
+    ],
+}
+
+#: Sequence-length envelopes (min, typical, max) per dataset, from the CASP
+#: target lists referenced in the paper (CASP10 -> 770, CASP16 -> 6,879).
+LENGTH_PROFILES: Dict[str, Dict[str, float]] = {
+    "CAMEO": {"min": 60, "mode": 250, "max": 800},
+    "CASP14": {"min": 70, "mode": 400, "max": 2180},
+    "CASP15": {"min": 90, "mode": 500, "max": 3364},
+    "CASP16": {"min": 77, "mode": 700, "max": 6879},
+}
+
+DATASET_NAMES: List[str] = ["CAMEO", "CASP14", "CASP15", "CASP16"]
+
+
+@dataclass
+class DatasetCatalog:
+    """A named collection of protein targets with deterministic generation."""
+
+    name: str
+    targets: List[DatasetTarget] = field(default_factory=list)
+    seed: int = 0
+
+    def __len__(self) -> int:
+        return len(self.targets)
+
+    def __iter__(self) -> Iterator[DatasetTarget]:
+        return iter(self.targets)
+
+    def lengths(self) -> List[int]:
+        return [t.length for t in self.targets]
+
+    def max_length(self) -> int:
+        return max(self.lengths())
+
+    def filter_by_length(self, max_length: int) -> "DatasetCatalog":
+        """Catalogue restricted to targets with at most ``max_length`` residues."""
+        kept = [t for t in self.targets if t.length <= max_length]
+        return DatasetCatalog(name=self.name, targets=kept, seed=self.seed)
+
+    def with_ground_truth(self) -> "DatasetCatalog":
+        """Catalogue restricted to targets whose ground truth is released."""
+        kept = [t for t in self.targets if t.has_ground_truth]
+        return DatasetCatalog(name=self.name, targets=kept, seed=self.seed)
+
+    def structure_for(self, target: DatasetTarget, max_length: Optional[int] = None) -> ProteinStructure:
+        """Deterministically generate the synthetic ground-truth structure.
+
+        ``max_length`` optionally truncates very long targets so that numeric
+        (as opposed to analytical) experiments stay tractable; the truncated
+        structure is still deterministic for a given target.
+        """
+        length = target.length if max_length is None else min(target.length, max_length)
+        seed = _target_seed(self.name, target.name, self.seed)
+        return generate_protein(length, seed=seed, name=target.name)
+
+
+def _target_seed(dataset: str, target: str, base_seed: int) -> int:
+    """Stable per-target seed derived from dataset and target names.
+
+    Uses CRC32 rather than the built-in ``hash`` so seeds are identical across
+    processes (Python randomizes string hashing per interpreter run).
+    """
+    mixed = zlib.crc32(f"{dataset}/{target}".encode("utf-8")) & 0x7FFFFFFF
+    return (mixed ^ (base_seed * 2654435761)) & 0x7FFFFFFF
+
+
+def _sample_lengths(profile: Dict[str, float], count: int, rng: np.random.Generator) -> List[int]:
+    """Draw target lengths from a log-normal-ish envelope clipped to the profile."""
+    mode = profile["mode"]
+    sigma = 0.55
+    mu = np.log(mode)
+    raw = rng.lognormal(mean=mu, sigma=sigma, size=count)
+    clipped = np.clip(raw, profile["min"], profile["max"])
+    return [int(round(v)) for v in clipped]
+
+
+def build_catalog(name: str, count: int = 12, seed: int = 0) -> DatasetCatalog:
+    """Build a synthetic catalogue for ``name`` (one of CAMEO/CASP14/15/16).
+
+    The catalogue always contains the paper's anchor targets for that dataset
+    plus ``count`` sampled targets following the dataset's length profile.
+    CASP16 targets carry ``has_ground_truth=False`` (as in the paper, where
+    CASP16 ground truth was not yet released), all other datasets are fully
+    evaluable for accuracy.
+    """
+    if name not in LENGTH_PROFILES:
+        raise ValueError(f"unknown dataset {name!r}; expected one of {DATASET_NAMES}")
+    rng = np.random.default_rng(seed + zlib.crc32(name.encode("utf-8")) % 100000)
+    profile = LENGTH_PROFILES[name]
+    targets: List[DatasetTarget] = list(ANCHOR_TARGETS.get(name, []))
+    has_gt = name != "CASP16"
+    lengths = _sample_lengths(profile, count, rng)
+    for i, length in enumerate(lengths):
+        targets.append(
+            DatasetTarget(name=f"{name}-S{i:03d}", length=length, dataset=name, has_ground_truth=has_gt)
+        )
+    targets.sort(key=lambda t: t.length)
+    return DatasetCatalog(name=name, targets=targets, seed=seed)
+
+
+def build_all_catalogs(count: int = 12, seed: int = 0) -> Dict[str, DatasetCatalog]:
+    """Build catalogues for all four datasets used in the paper."""
+    return {name: build_catalog(name, count=count, seed=seed) for name in DATASET_NAMES}
+
+
+def accuracy_datasets(count: int = 8, seed: int = 0) -> Dict[str, DatasetCatalog]:
+    """Datasets used for accuracy evaluation (paper: all except CASP16)."""
+    return {
+        name: build_catalog(name, count=count, seed=seed)
+        for name in ("CAMEO", "CASP14", "CASP15")
+    }

@@ -1,0 +1,64 @@
+"""Minimal PDB-format I/O for C-alpha trace structures.
+
+Only the subset of the PDB format the examples need is implemented: ATOM
+records for CA atoms, one chain, plus TER/END.  This is enough to export
+predictions for visualization in standard tools and to round-trip structures
+in tests.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from .amino_acids import ONE_LETTER_CODES, THREE_LETTER_CODES
+from .sequence import ProteinSequence
+from .structure import ProteinStructure
+
+PathLike = Union[str, Path]
+
+
+def structure_to_pdb(structure: ProteinStructure, chain_id: str = "A") -> str:
+    """Serialize a CA-trace structure into PDB ATOM records."""
+    lines: List[str] = []
+    lines.append(f"REMARK  LightNobel reproduction model: {structure.name}")
+    for i, (residue_code, coord) in enumerate(zip(structure.sequence, structure.coordinates), start=1):
+        residue_name = THREE_LETTER_CODES.get(residue_code, "UNK")
+        x, y, z = (float(v) for v in coord)
+        lines.append(
+            f"ATOM  {i:5d}  CA  {residue_name:>3s} {chain_id}{i:4d}    "
+            f"{x:8.3f}{y:8.3f}{z:8.3f}  1.00  0.00           C"
+        )
+    lines.append(f"TER   {len(structure) + 1:5d}      "
+                 f"{THREE_LETTER_CODES.get(structure.sequence[-1], 'UNK'):>3s} {chain_id}{len(structure):4d}")
+    lines.append("END")
+    return "\n".join(lines) + "\n"
+
+
+def write_pdb(structure: ProteinStructure, path: PathLike, chain_id: str = "A") -> Path:
+    """Write a structure to ``path`` in PDB format and return the path."""
+    path = Path(path)
+    path.write_text(structure_to_pdb(structure, chain_id=chain_id))
+    return path
+
+
+def read_pdb(path: PathLike, name: str = "from_pdb") -> ProteinStructure:
+    """Read a CA-only PDB file back into a :class:`ProteinStructure`."""
+    path = Path(path)
+    residues: List[str] = []
+    coords: List[List[float]] = []
+    for line in path.read_text().splitlines():
+        if not line.startswith("ATOM"):
+            continue
+        atom_name = line[12:16].strip()
+        if atom_name != "CA":
+            continue
+        residue_name = line[17:20].strip()
+        residues.append(ONE_LETTER_CODES.get(residue_name, "X"))
+        coords.append([float(line[30:38]), float(line[38:46]), float(line[46:54])])
+    if not residues:
+        raise ValueError(f"no CA ATOM records found in {path}")
+    sequence = ProteinSequence("".join(residues), name=name)
+    return ProteinStructure(sequence=sequence, coordinates=np.asarray(coords), name=name)

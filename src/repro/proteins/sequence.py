@@ -1,0 +1,88 @@
+"""Protein sequence container and random sequence generation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from .amino_acids import AMINO_ACIDS, encode_sequence, is_valid_residue
+
+
+@dataclass(frozen=True)
+class ProteinSequence:
+    """An amino-acid sequence with an optional identifier.
+
+    The sequence is stored as a one-letter string; the integer encoding used
+    by the PPM input embedding is computed on demand.
+    """
+
+    sequence: str
+    name: str = "protein"
+    description: str = ""
+    _encoded: tuple = field(default=(), repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.sequence:
+            raise ValueError("sequence must be non-empty")
+        cleaned = self.sequence.upper()
+        for ch in cleaned:
+            if not (is_valid_residue(ch) or ch == "X"):
+                raise ValueError(f"invalid residue code {ch!r} in sequence {self.name!r}")
+        object.__setattr__(self, "sequence", cleaned)
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.sequence)
+
+    def __getitem__(self, item) -> str:
+        return self.sequence[item]
+
+    def encoded(self) -> np.ndarray:
+        """Integer token encoding of the sequence, shape ``(Ns,)``."""
+        return np.asarray(encode_sequence(self.sequence), dtype=np.int64)
+
+    def composition(self) -> dict:
+        """Residue frequency table (fraction of each canonical residue)."""
+        counts = {aa: 0 for aa in AMINO_ACIDS}
+        for ch in self.sequence:
+            if ch in counts:
+                counts[ch] += 1
+        total = max(1, len(self.sequence))
+        return {aa: counts[aa] / total for aa in AMINO_ACIDS}
+
+
+def random_sequence(
+    length: int,
+    rng: Optional[np.random.Generator] = None,
+    name: str = "random",
+    weights: Optional[List[float]] = None,
+) -> ProteinSequence:
+    """Sample a random protein sequence of ``length`` residues.
+
+    Parameters
+    ----------
+    length:
+        Number of residues; must be positive.
+    rng:
+        Numpy random generator; a fresh default generator is used if omitted.
+    name:
+        Identifier attached to the returned :class:`ProteinSequence`.
+    weights:
+        Optional per-residue sampling weights (len 20).  Uniform if omitted.
+    """
+    if length <= 0:
+        raise ValueError("length must be positive")
+    rng = rng or np.random.default_rng()
+    if weights is None:
+        probs = np.full(len(AMINO_ACIDS), 1.0 / len(AMINO_ACIDS))
+    else:
+        probs = np.asarray(weights, dtype=np.float64)
+        if probs.shape != (len(AMINO_ACIDS),):
+            raise ValueError("weights must have one entry per canonical residue")
+        probs = probs / probs.sum()
+    letters = rng.choice(list(AMINO_ACIDS), size=length, p=probs)
+    return ProteinSequence("".join(letters), name=name)

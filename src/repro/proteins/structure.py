@@ -1,0 +1,109 @@
+"""Protein structure container: CA-trace coordinates plus derived geometry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .sequence import ProteinSequence
+
+
+@dataclass
+class ProteinStructure:
+    """A C-alpha trace structure for a protein sequence.
+
+    Attributes
+    ----------
+    sequence:
+        The amino-acid sequence the structure belongs to.
+    coordinates:
+        Array of shape ``(Ns, 3)`` with one C-alpha position per residue, in
+        Angstroms.
+    name:
+        Identifier (defaults to the sequence name).
+    """
+
+    sequence: ProteinSequence
+    coordinates: np.ndarray
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        coords = np.asarray(self.coordinates, dtype=np.float64)
+        if coords.ndim != 2 or coords.shape[1] != 3:
+            raise ValueError("coordinates must have shape (Ns, 3)")
+        if coords.shape[0] != len(self.sequence):
+            raise ValueError(
+                f"coordinate count {coords.shape[0]} does not match sequence length "
+                f"{len(self.sequence)}"
+            )
+        if not np.all(np.isfinite(coords)):
+            raise ValueError("coordinates must be finite")
+        self.coordinates = coords
+        if self.name is None:
+            self.name = self.sequence.name
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+    def distance_matrix(self) -> np.ndarray:
+        """Pairwise C-alpha distance matrix, shape ``(Ns, Ns)``."""
+        diff = self.coordinates[:, None, :] - self.coordinates[None, :, :]
+        return np.sqrt(np.sum(diff * diff, axis=-1))
+
+    def distogram(self, bins: Optional[np.ndarray] = None) -> np.ndarray:
+        """Binned pairwise-distance representation, shape ``(Ns, Ns, B)``.
+
+        Each pair is one-hot encoded into distance bins; this mirrors the
+        distogram targets used when training PPMs and is the signal the
+        synthetic input embedding injects into the Pair Representation.
+        """
+        if bins is None:
+            bins = default_distogram_bins()
+        dist = self.distance_matrix()
+        indices = np.digitize(dist, bins)
+        one_hot = np.zeros(dist.shape + (len(bins) + 1,), dtype=np.float32)
+        rows, cols = np.indices(dist.shape)
+        one_hot[rows, cols, indices] = 1.0
+        return one_hot
+
+    def contact_map(self, cutoff: float = 8.0) -> np.ndarray:
+        """Boolean contact map at the given CA-CA distance cutoff."""
+        return self.distance_matrix() <= cutoff
+
+    def radius_of_gyration(self) -> float:
+        """Radius of gyration of the CA trace."""
+        center = self.coordinates.mean(axis=0)
+        return float(np.sqrt(np.mean(np.sum((self.coordinates - center) ** 2, axis=1))))
+
+    def centered(self) -> "ProteinStructure":
+        """Return a copy translated so the centroid sits at the origin."""
+        return ProteinStructure(
+            sequence=self.sequence,
+            coordinates=self.coordinates - self.coordinates.mean(axis=0),
+            name=self.name,
+        )
+
+    def with_coordinates(self, coordinates: np.ndarray) -> "ProteinStructure":
+        """Return a copy of this structure with replaced coordinates."""
+        return ProteinStructure(sequence=self.sequence, coordinates=coordinates, name=self.name)
+
+
+def default_distogram_bins(
+    minimum: float = 2.0, maximum: float = 22.0, count: int = 63
+) -> np.ndarray:
+    """Distance-bin edges used for distograms (AlphaFold2-style 64 bins)."""
+    return np.linspace(minimum, maximum, count)
+
+
+def distance_matrix_to_gram(distances: np.ndarray) -> np.ndarray:
+    """Convert a pairwise distance matrix to a centered Gram matrix.
+
+    This is the classical multidimensional-scaling (MDS) step used by the
+    structure module to recover 3-D coordinates from predicted distances.
+    """
+    d2 = np.asarray(distances, dtype=np.float64) ** 2
+    n = d2.shape[0]
+    centering = np.eye(n) - np.full((n, n), 1.0 / n)
+    return -0.5 * centering @ d2 @ centering

@@ -1,0 +1,225 @@
+"""Synthetic protein structure generation.
+
+The paper evaluates on CAMEO/CASP targets whose experimental structures come
+from the PDB.  Those are not available offline, so this module builds the
+closest synthetic equivalent: proteins whose C-alpha traces are assembled from
+idealized secondary-structure segments (alpha helices, beta strands and coils)
+with residue-dependent segment propensities, then compacted into a globular
+fold.  The resulting structures have realistic pairwise-distance statistics
+(3.8 A consecutive CA spacing, contact-rich cores, distograms with the banded
+patterns the paper's Figure 5 discusses), which is what the quantization and
+memory experiments depend on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .amino_acids import residue
+from .sequence import ProteinSequence, random_sequence
+from .structure import ProteinStructure
+
+#: Consecutive C-alpha distance in Angstroms.
+CA_CA_DISTANCE = 3.8
+
+#: Idealized alpha-helix geometry: rise per residue and turn angle.
+HELIX_RISE = 1.5
+HELIX_RADIUS = 2.3
+HELIX_TURN = np.deg2rad(100.0)
+
+#: Idealized beta-strand geometry: extended, slight zig-zag.
+STRAND_RISE = 3.4
+STRAND_ZIGZAG = 0.9
+
+
+@dataclass(frozen=True)
+class SecondaryStructureSegment:
+    """A run of residues sharing one secondary-structure type."""
+
+    kind: str  # "H" (helix), "E" (strand), "C" (coil)
+    start: int
+    length: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.length
+
+
+def assign_secondary_structure(
+    sequence: ProteinSequence, rng: np.random.Generator
+) -> List[SecondaryStructureSegment]:
+    """Partition a sequence into helix/strand/coil segments.
+
+    Segment types are sampled with probabilities biased by the Chou-Fasman
+    propensities of the residues in the window, so different sequences give
+    different (but deterministic, given the rng) folds.
+    """
+    segments: List[SecondaryStructureSegment] = []
+    position = 0
+    n = len(sequence)
+    while position < n:
+        length = int(rng.integers(4, 13))
+        length = min(length, n - position)
+        window = sequence.sequence[position:position + length]
+        helix_score = float(np.mean([_safe_helix(ch) for ch in window]))
+        sheet_score = float(np.mean([_safe_sheet(ch) for ch in window]))
+        coil_score = 0.9
+        scores = np.array([helix_score, sheet_score, coil_score])
+        probs = scores / scores.sum()
+        kind = rng.choice(["H", "E", "C"], p=probs)
+        segments.append(SecondaryStructureSegment(kind=str(kind), start=position, length=length))
+        position += length
+    return segments
+
+
+def _safe_helix(code: str) -> float:
+    try:
+        return residue(code).helix_propensity
+    except KeyError:
+        return 1.0
+
+
+def _safe_sheet(code: str) -> float:
+    try:
+        return residue(code).sheet_propensity
+    except KeyError:
+        return 1.0
+
+
+def _helix_segment(length: int, rng: np.random.Generator) -> np.ndarray:
+    """Local coordinates of an idealized alpha helix segment."""
+    indices = np.arange(length)
+    phase = rng.uniform(0, 2 * np.pi)
+    x = HELIX_RADIUS * np.cos(HELIX_TURN * indices + phase)
+    y = HELIX_RADIUS * np.sin(HELIX_TURN * indices + phase)
+    z = HELIX_RISE * indices
+    return np.stack([x, y, z], axis=1)
+
+
+def _strand_segment(length: int, rng: np.random.Generator) -> np.ndarray:
+    """Local coordinates of an idealized beta strand segment."""
+    indices = np.arange(length)
+    x = STRAND_ZIGZAG * ((indices % 2) - 0.5)
+    y = np.zeros(length)
+    z = STRAND_RISE * indices
+    return np.stack([x, y, z], axis=1)
+
+
+def _coil_segment(length: int, rng: np.random.Generator) -> np.ndarray:
+    """Local coordinates of a random-walk coil with fixed CA-CA spacing."""
+    directions = rng.normal(size=(length, 3))
+    # Smooth the walk so consecutive steps are correlated (persistence).
+    for i in range(1, length):
+        directions[i] = 0.6 * directions[i - 1] + 0.4 * directions[i]
+    norms = np.linalg.norm(directions, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    steps = directions / norms * CA_CA_DISTANCE
+    coords = np.cumsum(steps, axis=0)
+    return coords - coords[0]
+
+
+def _random_rotation(rng: np.random.Generator) -> np.ndarray:
+    """Uniform random rotation matrix (QR of a Gaussian matrix)."""
+    matrix = rng.normal(size=(3, 3))
+    q, r = np.linalg.qr(matrix)
+    q = q * np.sign(np.diag(r))
+    if np.linalg.det(q) < 0:
+        q[:, 0] = -q[:, 0]
+    return q
+
+
+def _compact(coords: np.ndarray, rng: np.random.Generator, iterations: int = 30) -> np.ndarray:
+    """Pull the chain into a globular fold while keeping CA-CA spacing.
+
+    A light-weight relaxation: each iteration applies a contraction toward the
+    centroid followed by a re-normalization of consecutive CA-CA distances.
+    The result has a radius of gyration scaling like ``Ns**(1/3)``, matching
+    globular proteins, which gives distograms with realistic contact density.
+    """
+    coords = coords.copy()
+    n = coords.shape[0]
+    target_rg = 2.2 * n ** (1.0 / 3.0) + 0.5
+    for _ in range(iterations):
+        center = coords.mean(axis=0)
+        rg = np.sqrt(np.mean(np.sum((coords - center) ** 2, axis=1)))
+        if rg <= target_rg:
+            break
+        shrink = max(0.90, target_rg / rg)
+        coords = center + (coords - center) * shrink
+        # restore chain connectivity
+        deltas = np.diff(coords, axis=0)
+        lengths = np.linalg.norm(deltas, axis=1, keepdims=True)
+        lengths[lengths == 0] = 1.0
+        deltas = deltas / lengths * CA_CA_DISTANCE
+        rebuilt = np.concatenate([coords[:1], coords[:1] + np.cumsum(deltas, axis=0)], axis=0)
+        coords = rebuilt
+    return coords
+
+
+def generate_backbone(
+    sequence: ProteinSequence,
+    rng: Optional[np.random.Generator] = None,
+    compact_iterations: int = 30,
+) -> ProteinStructure:
+    """Generate a synthetic C-alpha trace for ``sequence``.
+
+    The chain is assembled segment by segment (helix, strand or coil local
+    geometry), each segment rotated randomly and appended with the canonical
+    3.8 A linkage, then compacted into a globule.
+    """
+    rng = rng or np.random.default_rng(0)
+    segments = assign_secondary_structure(sequence, rng)
+    pieces: List[np.ndarray] = []
+    cursor = np.zeros(3)
+    direction = np.array([0.0, 0.0, 1.0])
+    for segment in segments:
+        if segment.kind == "H":
+            local = _helix_segment(segment.length, rng)
+        elif segment.kind == "E":
+            local = _strand_segment(segment.length, rng)
+        else:
+            local = _coil_segment(segment.length, rng)
+        rotation = _random_rotation(rng)
+        local = local @ rotation.T
+        if local.shape[0] > 0:
+            local = local - local[0]
+        offset = cursor + direction * CA_CA_DISTANCE
+        placed = local + offset
+        pieces.append(placed)
+        cursor = placed[-1]
+        if placed.shape[0] >= 2:
+            direction = placed[-1] - placed[-2]
+            norm = np.linalg.norm(direction)
+            direction = direction / norm if norm > 0 else np.array([0.0, 0.0, 1.0])
+    coords = np.concatenate(pieces, axis=0)[: len(sequence)]
+    coords = _compact(coords, rng, iterations=compact_iterations)
+    return ProteinStructure(sequence=sequence, coordinates=coords)
+
+
+def generate_protein(
+    length: int,
+    seed: int = 0,
+    name: str = "synthetic",
+    compact_iterations: int = 30,
+) -> ProteinStructure:
+    """Generate a random sequence and a synthetic structure for it."""
+    rng = np.random.default_rng(seed)
+    seq = random_sequence(length, rng=rng, name=name)
+    return generate_backbone(seq, rng=rng, compact_iterations=compact_iterations)
+
+
+def perturb_structure(
+    structure: ProteinStructure,
+    noise_scale: float,
+    rng: Optional[np.random.Generator] = None,
+) -> ProteinStructure:
+    """Return a copy of ``structure`` with Gaussian coordinate noise added.
+
+    Used by tests and examples to produce decoys with known quality ordering.
+    """
+    rng = rng or np.random.default_rng(0)
+    noise = rng.normal(scale=noise_scale, size=structure.coordinates.shape)
+    return structure.with_coordinates(structure.coordinates + noise)

@@ -1,0 +1,65 @@
+"""Unit tests for the AAQ configuration and quantizer."""
+
+import numpy as np
+import pytest
+
+from repro.core import AAQConfig, AAQQuantizer, TokenQuantConfig
+from repro.ppm import GROUP_A, GROUP_B, GROUP_C, GROUPS
+
+
+class TestAAQConfig:
+    def test_paper_optimal_matches_dse_result(self):
+        config = AAQConfig.paper_optimal()
+        assert config.config_for(GROUP_A) == TokenQuantConfig(inlier_bits=8, outlier_count=4)
+        assert config.config_for(GROUP_B) == TokenQuantConfig(inlier_bits=4, outlier_count=4)
+        assert config.config_for(GROUP_C) == TokenQuantConfig(inlier_bits=4, outlier_count=0)
+        assert config.weight_bits == 16
+
+    def test_uniform_config(self):
+        config = AAQConfig.uniform(8, 2)
+        assert all(config.config_for(g) == TokenQuantConfig(8, 2) for g in GROUPS)
+
+    def test_replace_group(self):
+        config = AAQConfig.paper_optimal().replace_group(GROUP_C, TokenQuantConfig(8, 8))
+        assert config.config_for(GROUP_C) == TokenQuantConfig(8, 8)
+        assert config.config_for(GROUP_A) == TokenQuantConfig(8, 4)
+        with pytest.raises(ValueError):
+            config.replace_group("Z", TokenQuantConfig(8, 8))
+
+    def test_missing_group_rejected(self):
+        with pytest.raises(ValueError):
+            AAQConfig(group_configs={GROUP_A: TokenQuantConfig()})
+
+    def test_bits_accounting(self):
+        config = AAQConfig.paper_optimal()
+        bits_a = config.bits_per_token(128, GROUP_A)
+        bits_c = config.bits_per_token(128, GROUP_C)
+        assert bits_a > bits_c
+        avg = config.average_bits_per_value(128)
+        assert 4.0 < avg < 9.0  # between pure INT4 and INT8, well below FP16
+
+
+class TestAAQQuantizer:
+    def test_group_a_uses_higher_precision_than_c(self, rng):
+        quantizer = AAQQuantizer()
+        values = rng.normal(size=(64, 128)) * 10
+        err_a = np.abs(quantizer.quantize(GROUP_A, values) - values).mean()
+        err_c = np.abs(quantizer.quantize(GROUP_C, values) - values).mean()
+        assert err_a < err_c
+
+    def test_context_transforms_all_groups(self, rng):
+        quantizer = AAQQuantizer()
+        ctx = quantizer.make_context()
+        values = rng.normal(size=(8, 16)) * 3
+        for group in GROUPS:
+            out = ctx.process(f"tap_{group}", group, values)
+            assert out.shape == values.shape
+            assert not np.allclose(out, values)  # quantization changed something
+            assert np.abs(out - values).max() < np.abs(values).max()  # but not wildly
+
+    def test_quantization_error_is_small_relative_to_signal(self, rng):
+        quantizer = AAQQuantizer()
+        values = rng.normal(size=(256, 128)) * 50
+        recon = quantizer.quantize(GROUP_A, values)
+        rel = np.linalg.norm(recon - values) / np.linalg.norm(values)
+        assert rel < 0.01  # INT8 + outliers keeps error below 1%

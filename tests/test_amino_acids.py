@@ -1,0 +1,67 @@
+"""Unit tests for the amino-acid alphabet and encoding."""
+
+import pytest
+
+from repro.proteins.amino_acids import (
+    AMINO_ACIDS,
+    THREE_LETTER_CODES,
+    UNKNOWN_INDEX,
+    VOCABULARY_SIZE,
+    decode_sequence,
+    encode_sequence,
+    is_valid_residue,
+    residue,
+)
+
+
+def test_alphabet_has_twenty_canonical_residues():
+    assert len(AMINO_ACIDS) == 20
+    assert len(set(AMINO_ACIDS)) == 20
+
+
+def test_vocabulary_includes_unknown_token():
+    assert VOCABULARY_SIZE == 21
+    assert UNKNOWN_INDEX == 20
+
+
+def test_three_letter_codes_cover_alphabet():
+    assert set(THREE_LETTER_CODES) == set(AMINO_ACIDS)
+    assert THREE_LETTER_CODES["A"] == "ALA"
+    assert THREE_LETTER_CODES["W"] == "TRP"
+
+
+def test_residue_lookup_roundtrip():
+    for code in AMINO_ACIDS:
+        res = residue(code)
+        assert res.code == code
+        assert res.three_letter == THREE_LETTER_CODES[code]
+        assert res.helix_propensity > 0
+        assert res.sheet_propensity > 0
+
+
+def test_residue_lookup_is_case_insensitive():
+    assert residue("a").code == "A"
+
+
+def test_residue_lookup_rejects_unknown():
+    with pytest.raises(KeyError):
+        residue("Z")
+
+
+def test_is_valid_residue():
+    assert is_valid_residue("G")
+    assert is_valid_residue("g")
+    assert not is_valid_residue("B")
+    assert not is_valid_residue("X")
+
+
+def test_encode_decode_roundtrip():
+    sequence = "ACDEFGHIKLMNPQRSTVWY"
+    encoded = encode_sequence(sequence)
+    assert encoded == list(range(20))
+    assert decode_sequence(encoded) == sequence
+
+
+def test_encode_maps_unknown_to_unknown_index():
+    assert encode_sequence("AXB") == [0, UNKNOWN_INDEX, UNKNOWN_INDEX]
+    assert decode_sequence([UNKNOWN_INDEX]) == "X"

@@ -1,0 +1,184 @@
+"""Integration tests for the analysis layer (cost models, DSE, breakdowns)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    AccuracyExperiment,
+    accuracy_deltas,
+    activation_weight_curve,
+    analyze_distribution,
+    compare_hardware_on_lengths,
+    computational_cost_comparison,
+    efficiency_metric,
+    figure5_analysis,
+    figure6c_statistics,
+    footprint_table,
+    group_separation_report,
+    hardware_dse,
+    latency_breakdown,
+    lightnobel_peak_memory_gb,
+    max_supported_length,
+    memory_footprint_comparison,
+    peak_memory_comparison,
+    quick_group_sweep,
+    record_activations,
+    results_as_table,
+    saturation_point,
+    average_speedup,
+)
+from repro.analysis.dse import QuantizationDSE
+from repro.ppm import PPMConfig
+from repro.proteins import generate_protein
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    targets = [generate_protein(40, seed=s) for s in (1, 2)]
+    return record_activations(targets, config=PPMConfig.tiny(), keep_arrays=True)
+
+
+class TestActivationStats:
+    def test_figure5_tokens_vary_more_than_channels(self, rng):
+        """The PPM property motivating token-wise quantization (Section 3.3)."""
+        tokens = rng.normal(size=(200, 32)) * np.linspace(0.5, 20, 200)[:, None]
+        analysis = analyze_distribution("pair_tap", tokens)
+        assert analysis.tokens_vary_more_than_channels
+        assert analysis.token_outlier_concentration > 0.3
+
+    def test_figure5_from_recorded_activations(self, recorded):
+        analyses = figure5_analysis(recorded)
+        assert len(analyses) > 0
+        assert all(np.isfinite([a.channel_range_spread, a.token_range_spread]).all() for a in analyses)
+        # Outliers cluster in a small subset of tokens (the distogram pattern).
+        mean_concentration = np.mean([a.token_outlier_concentration for a in analyses])
+        assert mean_concentration > 0.1
+
+    def test_figure6c_group_ordering(self, recorded):
+        stats = {s.group: s for s in figure6c_statistics(recorded)}
+        assert stats["A"].mean_abs > stats["B"].mean_abs
+        report = group_separation_report(recorded)
+        assert report["value_ratio_a_over_b"] > 1.0
+        assert 0.0 <= report["classification_agreement"] <= 1.0
+
+
+class TestLatencyBreakdown:
+    def test_fig3_shape(self):
+        short = latency_breakdown(77)
+        long = latency_breakdown(1410)
+        # Folding block dominates in both cases, and the pair dataflow /
+        # triangular attention share grows sharply with sequence length.
+        assert short.folding_block_fraction > 0.6
+        assert long.folding_block_fraction > 0.9
+        assert long.pair_dataflow_fraction > short.pair_dataflow_fraction
+        assert long.triangular_attention_fraction > short.triangular_attention_fraction
+        assert long.triangular_attention_fraction > 0.5
+
+
+class TestSizes:
+    def test_fig4_activation_explosion(self):
+        curve = activation_weight_curve([100, 1000, 2500, 10000])
+        ratios = [p.ratio for p in curve]
+        assert ratios == sorted(ratios)
+        assert ratios[-1] > 1000  # thousands-fold at 10k residues
+        assert curve[0].weight_gb == pytest.approx(curve[-1].weight_gb)
+
+    def test_table1_orderings(self):
+        rows = {r.scheme: r for r in footprint_table(3364)}
+        assert rows["LightNobel (AAQ)"].total_gb == min(r.total_gb for r in rows.values())
+        assert rows["Baseline"].activation_gb == max(r.activation_gb for r in rows.values())
+        assert rows["MEFold"].activation_gb == pytest.approx(rows["Baseline"].activation_gb)
+        assert rows["Tender"].weight_gb < rows["SmoothQuant"].weight_gb
+
+    def test_fig15_peak_memory_ordering(self):
+        comparison = peak_memory_comparison(3364)
+        assert comparison["lightnobel"] < comparison["baseline_chunk"] < comparison["baseline_no_chunk"]
+        reduction = comparison["baseline_no_chunk"] / comparison["lightnobel"]
+        assert reduction > 20  # paper reports up to 120x across datasets
+
+    def test_fig15_lightnobel_supports_beyond_casp16(self):
+        assert lightnobel_peak_memory_gb(6879) < 80.0
+        assert max_supported_length(80.0) > 6879
+
+    def test_fig16_cost_and_footprint_reductions(self):
+        cost = computational_cost_comparison(2000)
+        footprint = memory_footprint_comparison(2000)
+        cost_reduction = 1 - cost["lightnobel"] / cost["baseline"]
+        footprint_reduction = 1 - footprint["lightnobel"] / footprint["baseline"]
+        assert 0.3 < cost_reduction < 0.85
+        assert 0.4 < footprint_reduction < 0.85
+
+
+class TestHardwareComparison:
+    def test_fig14_speedups(self):
+        comparison = compare_hardware_on_lengths("CASP15", [300, 800, 1410])
+        speedups = average_speedup(comparison)
+        assert speedups["H100 (chunk)"] > speedups["H100 (no chunk)"] > 1.0
+        assert speedups["A100 (chunk)"] > speedups["H100 (chunk)"] * 0.9
+
+    def test_oom_filters(self):
+        comparison = compare_hardware_on_lengths(
+            "CASP16", [800, 3000], only_oom_without_chunk=True
+        )
+        assert comparison.out_of_memory["H100 (no chunk)"]
+        with pytest.raises(ValueError):
+            compare_hardware_on_lengths("CAMEO", [100], only_oom_without_chunk=True)
+
+
+class TestDSE:
+    def test_quick_sweep_prefers_outliers_for_outlier_heavy_group(self, rng):
+        tokens = rng.normal(size=(256, 32))
+        tokens[:, ::7] *= 40  # heavy outliers
+        points = quick_group_sweep({"A": tokens}, "A", hidden_dim=32)
+        best = max(points, key=lambda p: p.efficiency)
+        assert best.outlier_count >= 4
+        zero_outlier_4bit = next(p for p in points if p.outlier_count == 0 and p.inlier_bits == 4)
+        assert best.efficiency > zero_outlier_4bit.efficiency
+
+    def test_efficiency_metric_penalizes_accuracy_loss(self):
+        good = efficiency_metric(0.80, 0.80, bytes_per_token=80, hidden_dim=128)
+        bad = efficiency_metric(0.70, 0.80, bytes_per_token=80, hidden_dim=128)
+        assert good > bad
+        assert bad == 0.0
+
+    def test_full_dse_runs_on_tiny_model(self):
+        targets = [generate_protein(32, seed=5)]
+        dse = QuantizationDSE(targets, config=PPMConfig.tiny())
+        points = dse.sweep_group("C", outlier_counts=(4, 0), precisions=(4,))
+        assert len(points) == 2
+        assert all(0.0 <= p.tm_score <= 1.0 for p in points)
+        assert dse.best_point(points).efficiency >= min(p.efficiency for p in points)
+
+    def test_hardware_dse_saturation(self):
+        sweeps = hardware_dse(
+            [256],
+            rmpu_counts=(4, 16, 32, 64),
+            vvpu_counts=(1, 2, 4, 8),
+        )
+        rmpu_points = sweeps["rmpu_sweep"]
+        latencies = [p.average_latency_seconds for p in sorted(rmpu_points, key=lambda p: p.num_rmpus)]
+        assert latencies == sorted(latencies, reverse=True)
+        vvpu_sat = saturation_point(sweeps["vvpu_sweep"], "vvpus_per_rmpu")
+        assert vvpu_sat <= 8
+
+
+class TestAccuracyExperiment:
+    def test_fig13_orderings(self):
+        """AAQ tracks the FP16 baseline; Tender degrades; per-dataset ordering holds."""
+        from repro.core import get_scheme
+
+        experiment = AccuracyExperiment(
+            config=PPMConfig.tiny(), targets_per_dataset=1, max_target_length=48
+        )
+        schemes = {name: get_scheme(name) for name in ("Baseline", "Tender", "LightNobel (AAQ)")}
+        results = experiment.run(schemes=schemes)
+        table = results_as_table(results)
+        assert set(table) == {"CAMEO", "CASP14", "CASP15"}
+        deltas = accuracy_deltas(table)
+        for dataset, scores in table.items():
+            assert abs(deltas[dataset]["LightNobel (AAQ)"]) < 0.05
+            # Channel-wise INT4 (Tender) is far less stable than AAQ: its
+            # TM-score deviates from the FP16 baseline by a much larger margin.
+            assert abs(deltas[dataset]["Tender"]) > abs(deltas[dataset]["LightNobel (AAQ)"])
+        # CAMEO (lower prior noise) should be the easiest dataset for the baseline.
+        assert table["CAMEO"]["Baseline"] >= table["CASP14"]["Baseline"]

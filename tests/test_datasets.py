@@ -1,0 +1,71 @@
+"""Unit tests for the synthetic dataset catalogues."""
+
+import pytest
+
+from repro.proteins import DATASET_NAMES, accuracy_datasets, build_all_catalogs, build_catalog
+from repro.proteins.datasets import LENGTH_PROFILES
+
+
+def test_dataset_names_match_paper():
+    assert DATASET_NAMES == ["CAMEO", "CASP14", "CASP15", "CASP16"]
+
+
+def test_build_catalog_contains_anchor_targets():
+    casp16 = build_catalog("CASP16", count=4, seed=0)
+    names = {t.name: t for t in casp16}
+    assert names["R0271"].length == 77
+    assert names["T1269"].length == 1410
+    assert names["T1299"].length == 6879
+    casp15 = build_catalog("CASP15", count=4, seed=0)
+    assert {t.name: t.length for t in casp15}["T1169"] == 3364
+
+
+def test_catalog_lengths_respect_profile_bounds():
+    for name in DATASET_NAMES:
+        catalog = build_catalog(name, count=20, seed=1)
+        profile = LENGTH_PROFILES[name]
+        assert min(catalog.lengths()) >= profile["min"]
+        assert max(catalog.lengths()) <= profile["max"]
+
+
+def test_catalog_is_deterministic():
+    a = build_catalog("CAMEO", count=10, seed=3)
+    b = build_catalog("CAMEO", count=10, seed=3)
+    assert a.lengths() == b.lengths()
+    assert [t.name for t in a] == [t.name for t in b]
+
+
+def test_catalog_filtering():
+    catalog = build_catalog("CASP16", count=10, seed=0)
+    short = catalog.filter_by_length(1410)
+    assert short.max_length() <= 1410
+    assert len(short) < len(catalog)
+
+
+def test_casp16_has_no_ground_truth():
+    catalog = build_catalog("CASP16", count=5, seed=0)
+    assert len(catalog.with_ground_truth()) == 0
+    cameo = build_catalog("CAMEO", count=5, seed=0)
+    assert len(cameo.with_ground_truth()) == len(cameo)
+
+
+def test_accuracy_datasets_exclude_casp16():
+    datasets = accuracy_datasets(count=3)
+    assert set(datasets) == {"CAMEO", "CASP14", "CASP15"}
+
+
+def test_structure_generation_is_deterministic_and_truncatable():
+    catalog = build_catalog("CAMEO", count=3, seed=0)
+    target = catalog.targets[0]
+    s1 = catalog.structure_for(target)
+    s2 = catalog.structure_for(target)
+    assert (s1.coordinates == s2.coordinates).all()
+    truncated = catalog.structure_for(target, max_length=10)
+    assert len(truncated) == min(10, target.length)
+
+
+def test_build_all_catalogs_and_unknown_dataset():
+    catalogs = build_all_catalogs(count=2)
+    assert set(catalogs) == set(DATASET_NAMES)
+    with pytest.raises(ValueError):
+        build_catalog("CASP99")

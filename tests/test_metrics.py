@@ -1,0 +1,133 @@
+"""Unit tests for Kabsch superposition, RMSD, TM-score, GDT and lDDT."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    d0_from_length,
+    distance_rmse,
+    gdt_ts,
+    kabsch,
+    lddt,
+    rmsd,
+    superpose,
+    tm_score,
+    tm_score_structures,
+)
+from repro.proteins import generate_protein, perturb_structure
+
+
+def random_coords(n, seed=0):
+    return np.random.default_rng(seed).normal(scale=10.0, size=(n, 3))
+
+
+def random_rotation(seed=0):
+    rng = np.random.default_rng(seed)
+    q, r = np.linalg.qr(rng.normal(size=(3, 3)))
+    q = q * np.sign(np.diag(r))
+    if np.linalg.det(q) < 0:
+        q[:, 0] = -q[:, 0]
+    return q
+
+
+class TestKabsch:
+    def test_identity_alignment(self):
+        coords = random_coords(20)
+        result = kabsch(coords, coords)
+        assert result.rmsd == pytest.approx(0.0, abs=1e-9)
+        assert np.allclose(result.rotation, np.eye(3), atol=1e-9)
+
+    def test_recovers_rigid_transform(self):
+        coords = random_coords(30, seed=1)
+        rotation = random_rotation(2)
+        moved = coords @ rotation.T + np.array([5.0, -3.0, 2.0])
+        result = kabsch(moved, coords)
+        assert result.rmsd == pytest.approx(0.0, abs=1e-8)
+        assert np.allclose(result.apply(moved), coords, atol=1e-8)
+
+    def test_weights_emphasize_subset(self):
+        coords = random_coords(10, seed=3)
+        noisy = coords.copy()
+        noisy[5:] += 50.0  # badly misplaced second half
+        weights = np.ones(10)
+        weights[5:] = 1e-6
+        aligned = kabsch(noisy, coords, weights=weights).apply(noisy)
+        # first half should align nearly perfectly when its weight dominates
+        assert np.allclose(aligned[:5], coords[:5], atol=1e-3)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            kabsch(np.zeros((3, 2)), np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            kabsch(np.zeros((0, 3)), np.zeros((0, 3)))
+
+
+class TestRMSD:
+    def test_zero_for_identical(self):
+        coords = random_coords(15)
+        assert rmsd(coords, coords) == pytest.approx(0.0, abs=1e-9)
+
+    def test_superposition_invariance(self):
+        coords = random_coords(15, seed=5)
+        rotated = coords @ random_rotation(1).T + 3.0
+        assert rmsd(rotated, coords) == pytest.approx(0.0, abs=1e-8)
+        assert rmsd(rotated, coords, superpose=False) > 1.0
+
+    def test_distance_rmse(self):
+        a = np.array([[0.0, 1.0], [1.0, 0.0]])
+        b = np.array([[0.0, 3.0], [3.0, 0.0]])
+        assert distance_rmse(a, b) == pytest.approx(np.sqrt(4.0 * 2 / 4))
+
+
+class TestTMScore:
+    def test_perfect_match_scores_one(self):
+        structure = generate_protein(60, seed=0)
+        assert tm_score_structures(structure, structure) == pytest.approx(1.0, abs=1e-6)
+
+    def test_rigid_transform_invariance(self):
+        structure = generate_protein(80, seed=1)
+        rotated = structure.with_coordinates(
+            structure.coordinates @ random_rotation(4).T + np.array([10.0, 0.0, -5.0])
+        )
+        assert tm_score_structures(rotated, structure) == pytest.approx(1.0, abs=1e-4)
+
+    def test_monotonic_degradation_with_noise(self):
+        structure = generate_protein(70, seed=2)
+        scores = []
+        for noise in (0.5, 2.0, 8.0):
+            decoy = perturb_structure(structure, noise, rng=np.random.default_rng(0))
+            scores.append(tm_score_structures(decoy, structure))
+        assert scores[0] > scores[1] > scores[2]
+        assert scores[0] > 0.8
+        assert scores[2] < 0.5
+
+    def test_range_and_validation(self):
+        structure = generate_protein(30, seed=3)
+        decoy = perturb_structure(structure, 30.0)
+        score = tm_score_structures(decoy, structure)
+        assert 0.0 <= score <= 1.0
+        with pytest.raises(ValueError):
+            tm_score(np.zeros((2, 3)), np.zeros((2, 3)))
+
+    def test_d0_matches_reference_formula(self):
+        assert d0_from_length(100) == pytest.approx(1.24 * (85.0) ** (1 / 3) - 1.8)
+        assert d0_from_length(10) == 0.5
+
+
+class TestGDTAndLDDT:
+    def test_perfect_scores(self):
+        structure = generate_protein(40, seed=5)
+        coords = structure.coordinates
+        assert gdt_ts(coords, coords) == pytest.approx(1.0)
+        assert lddt(coords, coords) == pytest.approx(1.0)
+
+    def test_degrade_with_noise(self):
+        structure = generate_protein(50, seed=6)
+        decoy = perturb_structure(structure, 4.0, rng=np.random.default_rng(0))
+        assert gdt_ts(decoy.coordinates, structure.coordinates) < 0.9
+        assert lddt(decoy.coordinates, structure.coordinates) < 0.9
+
+    def test_lddt_is_superposition_free(self):
+        structure = generate_protein(30, seed=7)
+        rotated = structure.coordinates @ random_rotation(8).T + 100.0
+        assert lddt(rotated, structure.coordinates) == pytest.approx(1.0, abs=1e-9)

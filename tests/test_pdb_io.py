@@ -1,0 +1,30 @@
+"""Unit tests for minimal PDB I/O."""
+
+import numpy as np
+import pytest
+
+from repro.proteins import generate_protein, read_pdb, structure_to_pdb, write_pdb
+
+
+def test_pdb_roundtrip(tmp_path):
+    structure = generate_protein(25, seed=4, name="demo")
+    path = write_pdb(structure, tmp_path / "demo.pdb")
+    restored = read_pdb(path, name="demo")
+    assert len(restored) == len(structure)
+    assert restored.sequence.sequence == structure.sequence.sequence
+    assert np.allclose(restored.coordinates, structure.coordinates, atol=1e-3)
+
+
+def test_pdb_text_contains_atom_and_end_records():
+    structure = generate_protein(5, seed=0)
+    text = structure_to_pdb(structure)
+    assert text.count("ATOM") == 5
+    assert "END" in text
+    assert " CA " in text
+
+
+def test_read_pdb_rejects_file_without_ca_atoms(tmp_path):
+    path = tmp_path / "empty.pdb"
+    path.write_text("HEADER only\nEND\n")
+    with pytest.raises(ValueError):
+        read_pdb(path)

@@ -1,0 +1,126 @@
+"""Integration tests for the end-to-end PPM (embedding -> trunk -> structure)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import tm_score_structures
+from repro.ppm import ActivationRecorder, PPMConfig, ProteinStructureModel, StructurePrior
+from repro.ppm.embedding import DISTANCE_SCALE, decode_prior_distances, relative_position_encoding, sinusoidal_positions
+from repro.ppm.structure_module import (
+    mds_embedding,
+    mean_torsion_sign,
+    resolve_chirality,
+    stress_refinement,
+)
+from repro.proteins import generate_protein
+
+
+class TestEmbedding:
+    def test_sinusoidal_positions_shape_and_range(self):
+        feats = sinusoidal_positions(10, 16)
+        assert feats.shape == (10, 16)
+        assert np.all(np.abs(feats) <= 1.0)
+
+    def test_relative_position_encoding_one_hot(self):
+        rel = relative_position_encoding(6, num_bins=8)
+        assert rel.shape == (6, 6, 8)
+        assert np.allclose(rel.sum(axis=-1), 1.0)
+
+    def test_embedding_shapes(self, tiny_model, tiny_protein):
+        out = tiny_model.embed(tiny_protein.sequence, reference=tiny_protein)
+        n = len(tiny_protein)
+        assert out.sequence_representation.shape == (n, tiny_model.config.seq_dim)
+        assert out.pair_representation.shape == (n, n, tiny_model.config.pair_dim)
+
+    def test_prior_encoding_roundtrip(self, tiny_model, tiny_protein):
+        out = tiny_model.embed(tiny_protein.sequence, reference=tiny_protein)
+        decoded = decode_prior_distances(out.pair_representation, float(tiny_model.input_embedding.prior_gain[0]))
+        true = tiny_protein.distance_matrix()
+        # The decoded distances include prior noise and the relpos projection,
+        # but should still correlate strongly with the true distances.
+        corr = np.corrcoef(decoded.flatten(), true.flatten())[0, 1]
+        assert corr > 0.9
+
+    def test_structure_prior_noise_scaling(self, tiny_protein):
+        quiet = StructurePrior(noise_scale=0.1, seed=0).distances(tiny_protein)
+        loud = StructurePrior(noise_scale=3.0, seed=0).distances(tiny_protein)
+        true = tiny_protein.distance_matrix()
+        assert np.abs(quiet - true).mean() < np.abs(loud - true).mean()
+        assert np.allclose(np.diag(loud), 0.0)
+
+
+class TestStructureModule:
+    def test_mds_recovers_exact_geometry(self, tiny_protein):
+        coords = resolve_chirality(mds_embedding(tiny_protein.distance_matrix()))
+        assert tm_score_structures(tiny_protein.with_coordinates(coords), tiny_protein) > 0.95
+
+    def test_resolve_chirality_fixes_mirrored_structures(self, medium_protein):
+        mirrored = medium_protein.coordinates.copy()
+        mirrored[:, 2] = -mirrored[:, 2]
+        fixed = resolve_chirality(mirrored)
+        assert tm_score_structures(medium_protein.with_coordinates(fixed), medium_protein) > 0.95
+        untouched = resolve_chirality(medium_protein.coordinates)
+        assert np.allclose(untouched, medium_protein.coordinates)
+
+    def test_mean_torsion_sign_is_negative_for_synthetic_backbones(self, medium_protein):
+        assert mean_torsion_sign(medium_protein.coordinates) < 0
+        assert mean_torsion_sign(medium_protein.coordinates[:3]) == 0.0
+
+    def test_stress_refinement_reduces_distance_error(self, tiny_protein):
+        distances = tiny_protein.distance_matrix()
+        rng = np.random.default_rng(0)
+        start = mds_embedding(distances) + rng.normal(scale=1.0, size=(len(tiny_protein), 3))
+        refined = stress_refinement(start, distances, iterations=25)
+
+        def mean_error(coords):
+            diff = coords[:, None, :] - coords[None, :, :]
+            return np.abs(np.sqrt((diff ** 2).sum(-1)) - distances).mean()
+
+        assert mean_error(refined) < mean_error(start)
+
+    def test_stress_refinement_handles_trivial_inputs(self):
+        coords = np.zeros((2, 3))
+        out = stress_refinement(coords, np.zeros((2, 2)), iterations=3)
+        assert out.shape == (2, 3)
+
+
+class TestEndToEnd:
+    def test_prediction_output_shapes(self, small_model, medium_protein):
+        result = small_model.predict_from_structure(medium_protein)
+        n = len(medium_protein)
+        assert result.structure.coordinates.shape == (n, 3)
+        assert result.predicted_distances.shape == (n, n)
+        assert result.confidence.shape == (n,)
+        assert result.pair_representation.shape[0] == n
+
+    def test_prediction_accuracy_with_prior(self, small_model, medium_protein):
+        """With the structure prior the untrained trunk yields a correct fold."""
+        result = small_model.predict_from_structure(medium_protein)
+        assert tm_score_structures(result.structure, medium_protein) > 0.5
+
+    def test_prediction_without_prior_is_poor(self, small_model, medium_protein):
+        result = small_model.predict(medium_protein.sequence)
+        assert tm_score_structures(result.structure, medium_protein) < 0.5
+
+    def test_recycling_runs_and_preserves_shapes(self, tiny_model, tiny_protein):
+        result = tiny_model.predict_from_structure(tiny_protein, num_recycles=1)
+        assert result.structure.coordinates.shape == (len(tiny_protein), 3)
+
+    def test_activation_recorder_sees_all_groups(self, tiny_model, tiny_protein):
+        recorder = ActivationRecorder()
+        tiny_model.predict_from_structure(tiny_protein, ctx=recorder)
+        summary = recorder.group_summary()
+        assert set(summary) == {"A", "B", "C"}
+        assert all(s["count"] > 0 for s in summary.values())
+
+    def test_weight_accounting(self, tiny_model):
+        count = tiny_model.parameter_count()
+        assert count > 0
+        assert tiny_model.weight_bytes() == pytest.approx(count * tiny_model.config.weight_bytes)
+
+    def test_group_a_values_larger_than_group_b(self, small_model, medium_protein):
+        """Reproduces the ordering of Fig. 6c: residual stream >> post-LayerNorm."""
+        recorder = ActivationRecorder()
+        small_model.predict_from_structure(medium_protein, ctx=recorder)
+        summary = recorder.group_summary()
+        assert summary["A"]["mean_abs"] > summary["B"]["mean_abs"]

@@ -1,0 +1,119 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import (
+    TokenQuantConfig,
+    fake_quantize_tokens,
+    fake_quantize_tokenwise,
+    integer_bounds,
+    quantize_token,
+    symmetric_scale,
+)
+from repro.metrics import kabsch, tm_score
+from repro.ppm.functional import softmax
+
+finite_floats = st.floats(
+    min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False, width=64
+)
+
+
+@st.composite
+def token_arrays(draw, max_tokens=8, max_dim=32):
+    rows = draw(st.integers(min_value=1, max_value=max_tokens))
+    cols = draw(st.integers(min_value=2, max_value=max_dim))
+    return draw(
+        hnp.arrays(dtype=np.float64, shape=(rows, cols), elements=finite_floats)
+    )
+
+
+@given(token_arrays(), st.sampled_from([4, 8]))
+@settings(max_examples=40, deadline=None)
+def test_tokenwise_quantization_error_bounded_by_scale(values, bits):
+    """|x - Q(x)| <= scale/2 per token: the defining property of round-to-nearest."""
+    reconstructed = fake_quantize_tokenwise(values, bits)
+    max_abs = np.max(np.abs(values), axis=-1, keepdims=True)
+    scale = symmetric_scale(max_abs, bits)
+    assert np.all(np.abs(values - reconstructed) <= scale / 2 + 1e-9)
+
+
+@given(token_arrays(), st.sampled_from([4, 8]), st.integers(min_value=0, max_value=8))
+@settings(max_examples=40, deadline=None)
+def test_token_quant_roundtrip_never_increases_magnitude_range(values, bits, outliers):
+    config = TokenQuantConfig(inlier_bits=bits, outlier_count=outliers)
+    reconstructed = fake_quantize_tokens(values, config)
+    assert reconstructed.shape == values.shape
+    assert np.all(np.isfinite(reconstructed))
+    assert np.max(np.abs(reconstructed)) <= np.max(np.abs(values)) + 1e-9
+
+
+@given(token_arrays(max_tokens=4, max_dim=24), st.integers(min_value=0, max_value=4))
+@settings(max_examples=30, deadline=None)
+def test_vectorized_and_scalar_token_quantizers_agree(values, outliers):
+    config = TokenQuantConfig(inlier_bits=8, outlier_count=outliers)
+    vectorized = fake_quantize_tokens(values, config)
+    for row_index in range(values.shape[0]):
+        scalar = quantize_token(values[row_index], config).dequantize()
+        assert np.allclose(vectorized[row_index], scalar, atol=1e-9)
+
+
+@given(st.integers(min_value=2, max_value=16))
+def test_integer_bounds_monotone(bits):
+    assert integer_bounds(bits) < integer_bounds(bits + 1)
+
+
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(4, 30), st.just(3)),
+        elements=st.floats(-100, 100, allow_nan=False, width=64),
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_kabsch_rmsd_invariant_under_rigid_motion(coords):
+    # Degenerate (all-identical) point clouds are excluded: rotation is undefined.
+    if np.allclose(coords.std(axis=0), 0.0):
+        return
+    rng = np.random.default_rng(0)
+    q, r = np.linalg.qr(rng.normal(size=(3, 3)))
+    q = q * np.sign(np.diag(r))
+    if np.linalg.det(q) < 0:
+        q[:, 0] = -q[:, 0]
+    moved = coords @ q.T + np.array([1.0, -2.0, 3.0])
+    assert kabsch(moved, coords).rmsd < 1e-6
+
+
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(5, 40), st.just(3)),
+        elements=st.floats(-50, 50, allow_nan=False, width=64),
+    ),
+    hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(5, 40), st.just(3)),
+        elements=st.floats(-50, 50, allow_nan=False, width=64),
+    ),
+)
+@settings(max_examples=20, deadline=None)
+def test_tm_score_always_in_unit_interval(a, b):
+    n = min(a.shape[0], b.shape[0])
+    score = tm_score(a[:n], b[:n])
+    assert 0.0 <= score <= 1.0
+
+
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 6), st.integers(2, 12)),
+        elements=st.floats(-30, 30, allow_nan=False, width=64),
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_softmax_rows_are_distributions(x):
+    y = softmax(x, axis=-1)
+    assert np.all(y >= 0)
+    assert np.allclose(y.sum(axis=-1), 1.0, atol=1e-9)

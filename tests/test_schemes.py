@@ -1,0 +1,100 @@
+"""Unit tests for the quantization schemes compared in Table 1 / Fig. 13."""
+
+import numpy as np
+import pytest
+
+from repro.core import all_schemes, get_scheme
+from repro.ppm import GROUP_A, GROUP_B, GROUP_C, PPMConfig, ProteinStructureModel
+
+
+EXPECTED_NAMES = {
+    "Baseline",
+    "SmoothQuant",
+    "LLM.int8()",
+    "PTQ4Protein",
+    "Tender",
+    "MEFold",
+    "LightNobel (AAQ)",
+}
+
+
+def test_all_schemes_present():
+    schemes = all_schemes()
+    assert set(schemes) == EXPECTED_NAMES
+
+
+def test_get_scheme_by_name_and_unknown():
+    assert get_scheme("Tender").name == "Tender"
+    with pytest.raises(ValueError):
+        get_scheme("MadeUpQuant")
+
+
+def test_baseline_has_no_transforms_and_fp16_sizes():
+    baseline = get_scheme("Baseline")
+    assert baseline.activation_transforms == {}
+    assert baseline.effective_activation_bytes() == pytest.approx(2.0)
+    assert baseline.effective_weight_bytes() == pytest.approx(2.0)
+
+
+def test_lightnobel_covers_all_groups_and_compresses_most():
+    aaq = get_scheme("LightNobel (AAQ)")
+    assert set(aaq.activation_transforms) == {GROUP_A, GROUP_B, GROUP_C}
+    footprints = {
+        name: scheme.effective_activation_bytes() for name, scheme in all_schemes().items()
+    }
+    assert footprints["LightNobel (AAQ)"] == min(footprints.values())
+    assert footprints["Baseline"] == max(footprints.values())
+
+
+def test_table1_activation_footprint_ordering():
+    """LightNobel < SmoothQuant/LLM.int8 < PTQ4Protein/Tender < Baseline/MEFold."""
+    footprints = {
+        name: scheme.effective_activation_bytes() for name, scheme in all_schemes().items()
+    }
+    assert footprints["LightNobel (AAQ)"] < footprints["SmoothQuant"]
+    assert footprints["SmoothQuant"] < footprints["PTQ4Protein"]
+    assert footprints["PTQ4Protein"] < footprints["Baseline"]
+    assert footprints["MEFold"] == pytest.approx(footprints["Baseline"])
+
+
+def test_weight_footprint_ordering():
+    weights = {name: scheme.effective_weight_bytes() for name, scheme in all_schemes().items()}
+    assert weights["Tender"] < weights["SmoothQuant"] < weights["Baseline"]
+    assert weights["LightNobel (AAQ)"] == pytest.approx(2.0)  # INT16, unquantized
+
+
+def test_smoothquant_does_not_touch_residual_stream():
+    scheme = get_scheme("SmoothQuant")
+    assert GROUP_A not in scheme.activation_transforms
+    assert GROUP_B in scheme.activation_transforms
+
+
+def test_activation_transform_error_ordering(rng):
+    """Tender's channel-wise INT4 loses far more signal than AAQ on PPM-like tokens."""
+    # Token-concentrated outliers, as in the paper's Fig. 5 analysis.
+    values = rng.normal(size=(128, 64))
+    values[::9] *= 40.0
+    aaq = get_scheme("LightNobel (AAQ)").activation_transforms[GROUP_B]
+    tender = get_scheme("Tender").activation_transforms[GROUP_B]
+    err_aaq = np.abs(aaq(values) - values).mean()
+    err_tender = np.abs(tender(values) - values).mean()
+    assert err_aaq < err_tender
+
+
+def test_weight_quantization_touches_only_weight_matrices():
+    model = ProteinStructureModel(PPMConfig.tiny(), seed=0)
+    before = {name: param.copy() for name, param in model.trunk.named_parameters()}
+    touched = get_scheme("MEFold").quantize_weights(model)
+    assert touched > 0
+    changed = 0
+    for name, param in model.trunk.named_parameters():
+        if name.endswith(".weight") and not np.allclose(before[name], param):
+            changed += 1
+        if name.endswith((".gamma", ".beta", ".bias")):
+            assert np.allclose(before[name], param)
+    assert changed > 0
+
+
+def test_baseline_weight_quantization_is_noop():
+    model = ProteinStructureModel(PPMConfig.tiny(), seed=0)
+    assert get_scheme("Baseline").quantize_weights(model) == 0

@@ -1,0 +1,69 @@
+"""Unit tests for the ProteinSequence container."""
+
+import numpy as np
+import pytest
+
+from repro.proteins import ProteinSequence, random_sequence
+from repro.proteins.amino_acids import AMINO_ACIDS
+
+
+def test_sequence_normalizes_to_uppercase():
+    seq = ProteinSequence("acdef", name="demo")
+    assert seq.sequence == "ACDEF"
+    assert len(seq) == 5
+
+
+def test_sequence_rejects_empty():
+    with pytest.raises(ValueError):
+        ProteinSequence("")
+
+
+def test_sequence_rejects_invalid_characters():
+    with pytest.raises(ValueError):
+        ProteinSequence("ACDB1")
+
+
+def test_sequence_allows_unknown_x():
+    seq = ProteinSequence("AXA")
+    assert seq.sequence == "AXA"
+
+
+def test_sequence_iteration_and_indexing():
+    seq = ProteinSequence("ACD")
+    assert list(seq) == ["A", "C", "D"]
+    assert seq[1] == "C"
+    assert seq[0:2] == "AC"
+
+
+def test_encoded_shape_and_dtype():
+    seq = ProteinSequence("ACDEF")
+    encoded = seq.encoded()
+    assert encoded.shape == (5,)
+    assert encoded.dtype == np.int64
+
+
+def test_composition_sums_to_one():
+    seq = ProteinSequence("AAAACCCC")
+    comp = seq.composition()
+    assert comp["A"] == pytest.approx(0.5)
+    assert comp["C"] == pytest.approx(0.5)
+    assert sum(comp.values()) == pytest.approx(1.0)
+
+
+def test_random_sequence_is_deterministic_given_rng():
+    a = random_sequence(50, rng=np.random.default_rng(3))
+    b = random_sequence(50, rng=np.random.default_rng(3))
+    assert a.sequence == b.sequence
+    assert len(a) == 50
+
+
+def test_random_sequence_respects_weights():
+    weights = [0.0] * len(AMINO_ACIDS)
+    weights[0] = 1.0  # alanine only
+    seq = random_sequence(30, rng=np.random.default_rng(0), weights=weights)
+    assert set(seq.sequence) == {"A"}
+
+
+def test_random_sequence_rejects_bad_length():
+    with pytest.raises(ValueError):
+        random_sequence(0)

@@ -1,0 +1,75 @@
+"""Unit tests for the ProteinStructure container and derived geometry."""
+
+import numpy as np
+import pytest
+
+from repro.proteins import ProteinSequence, ProteinStructure, default_distogram_bins, distance_matrix_to_gram
+
+
+def make_structure(n: int = 5) -> ProteinStructure:
+    seq = ProteinSequence("A" * n)
+    coords = np.stack([np.arange(n), np.zeros(n), np.zeros(n)], axis=1).astype(float)
+    return ProteinStructure(sequence=seq, coordinates=coords)
+
+
+def test_structure_validates_shape():
+    seq = ProteinSequence("AAA")
+    with pytest.raises(ValueError):
+        ProteinStructure(sequence=seq, coordinates=np.zeros((2, 3)))
+    with pytest.raises(ValueError):
+        ProteinStructure(sequence=seq, coordinates=np.zeros((3, 2)))
+
+
+def test_structure_rejects_non_finite_coordinates():
+    seq = ProteinSequence("AAA")
+    coords = np.zeros((3, 3))
+    coords[0, 0] = np.nan
+    with pytest.raises(ValueError):
+        ProteinStructure(sequence=seq, coordinates=coords)
+
+
+def test_distance_matrix_is_symmetric_with_zero_diagonal():
+    structure = make_structure(6)
+    dist = structure.distance_matrix()
+    assert dist.shape == (6, 6)
+    assert np.allclose(dist, dist.T)
+    assert np.allclose(np.diag(dist), 0.0)
+    assert dist[0, 5] == pytest.approx(5.0)
+
+
+def test_distogram_is_one_hot_over_bins():
+    structure = make_structure(4)
+    bins = default_distogram_bins()
+    disto = structure.distogram(bins)
+    assert disto.shape == (4, 4, len(bins) + 1)
+    assert np.allclose(disto.sum(axis=-1), 1.0)
+
+
+def test_contact_map_uses_cutoff():
+    structure = make_structure(10)
+    contacts = structure.contact_map(cutoff=3.0)
+    assert contacts[0, 3]
+    assert not contacts[0, 4]
+    assert contacts.dtype == bool
+
+
+def test_radius_of_gyration_positive_and_centering():
+    structure = make_structure(8)
+    assert structure.radius_of_gyration() > 0
+    centered = structure.centered()
+    assert np.allclose(centered.coordinates.mean(axis=0), 0.0, atol=1e-12)
+
+
+def test_with_coordinates_replaces_coordinates():
+    structure = make_structure(5)
+    new = structure.with_coordinates(structure.coordinates + 1.0)
+    assert np.allclose(new.coordinates - structure.coordinates, 1.0)
+    assert new.sequence is structure.sequence
+
+
+def test_gram_matrix_recovers_pairwise_geometry():
+    structure = make_structure(5)
+    gram = distance_matrix_to_gram(structure.distance_matrix())
+    # Gram matrix of centered coordinates: X_c X_c^T
+    centered = structure.coordinates - structure.coordinates.mean(axis=0)
+    assert np.allclose(gram, centered @ centered.T, atol=1e-8)

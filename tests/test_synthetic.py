@@ -1,0 +1,65 @@
+"""Unit tests for synthetic protein structure generation."""
+
+import numpy as np
+
+from repro.proteins import generate_backbone, generate_protein, perturb_structure, random_sequence
+from repro.proteins.synthetic import (
+    CA_CA_DISTANCE,
+    assign_secondary_structure,
+)
+
+
+def test_generate_protein_shapes_and_determinism():
+    a = generate_protein(40, seed=5)
+    b = generate_protein(40, seed=5)
+    c = generate_protein(40, seed=6)
+    assert len(a) == 40
+    assert a.coordinates.shape == (40, 3)
+    assert np.allclose(a.coordinates, b.coordinates)
+    assert a.sequence.sequence == b.sequence.sequence
+    assert not np.allclose(a.coordinates, c.coordinates)
+
+
+def test_backbone_preserves_chain_connectivity():
+    structure = generate_protein(60, seed=2)
+    deltas = np.diff(structure.coordinates, axis=0)
+    lengths = np.linalg.norm(deltas, axis=1)
+    # After compaction consecutive CA distances stay near the canonical 3.8 A.
+    assert np.all(lengths > 1.0)
+    assert abs(np.median(lengths) - CA_CA_DISTANCE) < 1.0
+
+
+def test_backbone_is_globular():
+    small = generate_protein(30, seed=1)
+    large = generate_protein(200, seed=1)
+    # Radius of gyration grows sub-linearly (globular scaling), not linearly.
+    assert large.radius_of_gyration() < 4 * small.radius_of_gyration()
+    assert large.radius_of_gyration() > small.radius_of_gyration()
+
+
+def test_secondary_structure_covers_sequence():
+    rng = np.random.default_rng(0)
+    seq = random_sequence(75, rng=rng)
+    segments = assign_secondary_structure(seq, rng)
+    assert segments[0].start == 0
+    assert segments[-1].end == 75
+    total = sum(s.length for s in segments)
+    assert total == 75
+    assert all(s.kind in ("H", "E", "C") for s in segments)
+
+
+def test_generate_backbone_matches_sequence_length():
+    rng = np.random.default_rng(0)
+    seq = random_sequence(33, rng=rng)
+    structure = generate_backbone(seq, rng=rng)
+    assert len(structure) == 33
+
+
+def test_perturb_structure_increases_with_noise():
+    base = generate_protein(50, seed=3)
+    mild = perturb_structure(base, 0.1, rng=np.random.default_rng(0))
+    strong = perturb_structure(base, 5.0, rng=np.random.default_rng(0))
+    mild_delta = np.linalg.norm(mild.coordinates - base.coordinates, axis=1).mean()
+    strong_delta = np.linalg.norm(strong.coordinates - base.coordinates, axis=1).mean()
+    assert mild_delta < strong_delta
+    assert mild_delta > 0

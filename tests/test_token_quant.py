@@ -1,0 +1,124 @@
+"""Unit tests for token-wise quantization with dynamic outlier handling."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    QuantizedToken,
+    TokenQuantConfig,
+    fake_quantize_tokens,
+    quantize_token,
+    quantize_tokens,
+    select_outliers,
+    token_quantization_rmse,
+)
+
+
+def token_with_outliers(rng, dim=128, outliers=4, outlier_value=50.0):
+    token = rng.normal(size=dim)
+    positions = rng.choice(dim, size=outliers, replace=False)
+    token[positions] = outlier_value * np.sign(rng.normal(size=outliers))
+    return token, positions
+
+
+class TestConfig:
+    def test_bits_per_token_accounting(self):
+        config = TokenQuantConfig(inlier_bits=4, outlier_count=4)
+        # 124 inliers * 4b + 4 outliers * 16b + 4 indices * 8b + scale 16b
+        assert config.bits_per_token(128) == 124 * 4 + 4 * 16 + 4 * 8 + 16
+        assert config.bytes_per_token(128) == pytest.approx(config.bits_per_token(128) / 8)
+
+    def test_compression_ratio_monotone_in_bits(self):
+        low = TokenQuantConfig(inlier_bits=4, outlier_count=0)
+        high = TokenQuantConfig(inlier_bits=8, outlier_count=0)
+        assert low.compression_ratio(128) > high.compression_ratio(128)
+        assert low.compression_ratio(128) == pytest.approx(128 * 16 / (128 * 4 + 16))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenQuantConfig(inlier_bits=5)
+        with pytest.raises(ValueError):
+            TokenQuantConfig(outlier_count=-1)
+        with pytest.raises(ValueError):
+            TokenQuantConfig(outlier_bits=12)
+
+
+class TestOutlierSelection:
+    def test_top_k_selects_largest_magnitudes(self, rng):
+        token, positions = token_with_outliers(rng)
+        selected = select_outliers(token, 4)
+        assert set(selected) == set(positions)
+
+    def test_zero_count_returns_empty(self, rng):
+        assert select_outliers(rng.normal(size=16), 0).size == 0
+
+    def test_count_clamped_to_token_size(self, rng):
+        assert select_outliers(rng.normal(size=8), 100).size == 8
+
+
+class TestQuantizeToken:
+    def test_roundtrip_with_outliers_is_accurate(self, rng):
+        token, _ = token_with_outliers(rng)
+        config = TokenQuantConfig(inlier_bits=8, outlier_count=4)
+        quantized = quantize_token(token, config)
+        recon = quantized.dequantize()
+        assert np.max(np.abs(recon - token)) < 0.05
+
+    def test_outlier_handling_reduces_error(self, rng):
+        token, _ = token_with_outliers(rng, outlier_value=200.0)
+        with_outliers = TokenQuantConfig(inlier_bits=4, outlier_count=4)
+        without = TokenQuantConfig(inlier_bits=4, outlier_count=0)
+        err_with = np.abs(quantize_token(token, with_outliers).dequantize() - token).mean()
+        err_without = np.abs(quantize_token(token, without).dequantize() - token).mean()
+        assert err_with < err_without
+
+    def test_quantized_token_bit_accounting(self, rng):
+        token, _ = token_with_outliers(rng)
+        config = TokenQuantConfig(inlier_bits=4, outlier_count=4)
+        quantized = quantize_token(token, config)
+        assert isinstance(quantized, QuantizedToken)
+        assert quantized.bits() == config.bits_per_token(128)
+        assert quantized.inlier_values.size == 124
+        assert quantized.outlier_values.size == 4
+
+    def test_quantize_tokens_batch(self, rng):
+        tokens = rng.normal(size=(10, 32))
+        config = TokenQuantConfig(inlier_bits=8, outlier_count=2)
+        result = quantize_tokens(tokens, config)
+        assert len(result) == 10
+        with pytest.raises(ValueError):
+            quantize_tokens(rng.normal(size=32), config)
+
+
+class TestFakeQuantizeTokens:
+    def test_matches_per_token_quantizer(self, rng):
+        tokens = np.stack([token_with_outliers(rng, dim=64)[0] for _ in range(5)])
+        config = TokenQuantConfig(inlier_bits=8, outlier_count=4)
+        vectorized = fake_quantize_tokens(tokens, config)
+        reference = np.stack([quantize_token(t, config).dequantize() for t in tokens])
+        assert np.allclose(vectorized, reference, atol=1e-9)
+
+    def test_preserves_shape_for_3d_input(self, rng):
+        values = rng.normal(size=(6, 7, 16))
+        config = TokenQuantConfig(inlier_bits=4, outlier_count=2)
+        out = fake_quantize_tokens(values, config)
+        assert out.shape == values.shape
+
+    def test_rmse_decreases_with_precision(self, rng):
+        values = rng.normal(size=(32, 128)) * 5
+        rmse4 = token_quantization_rmse(values, TokenQuantConfig(inlier_bits=4, outlier_count=0))
+        rmse8 = token_quantization_rmse(values, TokenQuantConfig(inlier_bits=8, outlier_count=0))
+        assert rmse8 < rmse4
+
+    def test_paper_section_4_1_outlier_claim(self, rng):
+        """Symmetric quantization alone inflates RMSE far more than with outliers.
+
+        Section 4.1: without outlier handling RMSE increases by ~27% relative
+        to the outlier-handled case being only ~10% above an asymmetric
+        reference; here we verify the qualitative claim that outlier handling
+        recovers most of the gap on outlier-heavy (Group A-like) tokens.
+        """
+        tokens = np.stack([token_with_outliers(rng, outlier_value=100.0)[0] for _ in range(64)])
+        base = token_quantization_rmse(tokens, TokenQuantConfig(inlier_bits=8, outlier_count=8))
+        no_outliers = token_quantization_rmse(tokens, TokenQuantConfig(inlier_bits=8, outlier_count=0))
+        assert no_outliers > 1.2 * base
