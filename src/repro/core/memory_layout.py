@@ -18,7 +18,13 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from .token_quant import INDEX_BITS, SCALE_BITS, QuantizedToken, TokenQuantConfig
+from .token_quant import (
+    INDEX_BITS,
+    SCALE_BITS,
+    PackedQuantizedTensor,
+    QuantizedToken,
+    TokenQuantConfig,
+)
 
 
 @dataclass(frozen=True)
@@ -128,14 +134,63 @@ def pack_tokens_into_blocks(
     return BlockedLayout(blocks=blocks, token_bytes=per_token, channel_bytes=channel_bytes)
 
 
-def pack_quantized_tokens(tokens: Sequence[QuantizedToken]) -> np.ndarray:
+def pack_packed_tensor(packed: PackedQuantizedTensor) -> np.ndarray:
+    """Vectorized Fig. 7 serialization of a whole :class:`PackedQuantizedTensor`.
+
+    Emits exactly the same flat array as :func:`pack_quantized_tokens` applied
+    to ``packed.to_tokens()`` — per token: inliers, outliers, the two scaling
+    factors, then the outlier indices — but in one ``hstack`` over the columnar
+    fields instead of a Python loop over tokens.
+    """
+    rows = np.hstack(
+        [
+            np.asarray(packed.inlier_values, dtype=np.float64),
+            np.asarray(packed.outlier_values, dtype=np.float64),
+            np.asarray(packed.scales, dtype=np.float64)[:, None],
+            np.asarray(packed.outlier_scales, dtype=np.float64)[:, None],
+            np.asarray(packed.outlier_indices, dtype=np.float64),
+        ]
+    )
+    return rows.reshape(-1)
+
+
+def unpack_packed_tensor(flat: np.ndarray, template: PackedQuantizedTensor) -> PackedQuantizedTensor:
+    """Vectorized inverse of :func:`pack_packed_tensor` (layout from ``template``)."""
+    num_tokens = template.num_tokens
+    n_in = template.inlier_values.shape[-1]
+    n_out = template.outlier_values.shape[-1]
+    rows = np.asarray(flat, dtype=np.float64).reshape(num_tokens, n_in + n_out + 2 + n_out)
+    return PackedQuantizedTensor(
+        inlier_values=rows[:, :n_in],
+        inlier_indices=template.inlier_indices,
+        outlier_values=rows[:, n_in:n_in + n_out],
+        outlier_indices=rows[:, n_in + n_out + 2:].astype(np.int64),
+        scales=rows[:, n_in + n_out],
+        outlier_scales=rows[:, n_in + n_out + 1],
+        hidden_dim=template.hidden_dim,
+        config=template.config,
+    )
+
+
+def blocked_layout_for(packed: PackedQuantizedTensor, channel_bytes: int = 64) -> BlockedLayout:
+    """Channel-width block packing of a whole packed tensor (Fig. 7 blocks)."""
+    return pack_tokens_into_blocks(
+        packed.num_tokens, packed.config, packed.hidden_dim, channel_bytes=channel_bytes
+    )
+
+
+def pack_quantized_tokens(tokens) -> np.ndarray:
     """Serialize quantized tokens into a flat byte-granular array (for tests).
 
     The serialization follows the Fig. 7 field order.  Values are stored one
     byte per field element (sub-byte fields are padded up), which keeps the
     round trip exact; the *size accounting* used by the experiments relies on
-    :func:`token_layout`, not on this test-oriented serializer.
+    :func:`token_layout`, not on this test-oriented serializer.  Accepts a
+    :class:`PackedQuantizedTensor` (fast columnar path) or a sequence of
+    :class:`QuantizedToken` objects.
     """
+    if isinstance(tokens, PackedQuantizedTensor):
+        return pack_packed_tensor(tokens)
     parts: List[np.ndarray] = []
     for token in tokens:
         parts.append(np.asarray(token.inlier_values, dtype=np.float64))

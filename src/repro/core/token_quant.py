@@ -106,6 +106,138 @@ def select_outliers(token: np.ndarray, count: int) -> np.ndarray:
     return np.argpartition(np.abs(token), -count)[-count:]
 
 
+@dataclass
+class PackedQuantizedTensor:
+    """A batch of quantized tokens in struct-of-arrays (columnar) layout.
+
+    The per-token representation of Fig. 7 stored as one array per field:
+    row ``i`` of every array describes token ``i``.  ``pack`` replaces the
+    per-token Python loop of :func:`quantize_tokens` with batched array
+    operations; ``unpack`` is the vectorized inverse.  All tokens share one
+    :class:`TokenQuantConfig`, so the field shapes are rectangular:
+    ``(num_tokens, hidden_dim - k)`` inliers and ``(num_tokens, k)`` outliers,
+    where ``k = min(outlier_count, hidden_dim)``.
+    """
+
+    inlier_values: np.ndarray      # (T, H-k) signed integers on the inlier grid
+    inlier_indices: np.ndarray     # (T, H-k) positions of inliers within each token
+    outlier_values: np.ndarray     # (T, k) INT16-grid integers for outliers
+    outlier_indices: np.ndarray    # (T, k) positions of outliers within each token
+    scales: np.ndarray             # (T,) per-token scaling factors (inliers)
+    outlier_scales: np.ndarray     # (T,) per-token scaling factors (outlier grid)
+    hidden_dim: int
+    config: TokenQuantConfig
+
+    @classmethod
+    def pack(cls, tokens: np.ndarray, config: TokenQuantConfig) -> "PackedQuantizedTensor":
+        """Quantize a 2-D array of tokens (rows are tokens) in one batched pass.
+
+        Numerically identical to applying :func:`quantize_token` row by row:
+        the same top-k selection, the same per-token scaling factors and the
+        same integer grids, just computed with axis-wise array operations.
+        """
+        tokens = np.asarray(tokens, dtype=np.float64)
+        if tokens.ndim != 2:
+            raise ValueError("tokens must be a 2-D array of shape (num_tokens, hidden_dim)")
+        num_tokens, hidden_dim = tokens.shape
+        count = min(config.outlier_count, hidden_dim)
+
+        abs_values = np.abs(tokens)
+        inlier_mask = np.ones_like(tokens, dtype=bool)
+        if count > 0:
+            outlier_indices = np.sort(
+                np.argpartition(abs_values, -count, axis=-1)[:, -count:], axis=-1
+            )
+            np.put_along_axis(inlier_mask, outlier_indices, False, axis=-1)
+        else:
+            outlier_indices = np.empty((num_tokens, 0), dtype=np.int64)
+        inlier_indices = np.nonzero(inlier_mask)[1].reshape(num_tokens, hidden_dim - count)
+
+        inliers = np.take_along_axis(tokens, inlier_indices, axis=-1)
+        outliers = np.take_along_axis(tokens, outlier_indices, axis=-1)
+
+        inlier_max = np.abs(inliers).max(axis=-1) if inliers.shape[-1] else np.zeros(num_tokens)
+        outlier_max = np.abs(outliers).max(axis=-1) if count else np.zeros(num_tokens)
+        scales = np.asarray(symmetric_scale(inlier_max, config.inlier_bits))
+        outlier_scales = np.asarray(symmetric_scale(outlier_max, config.outlier_bits))
+        return cls(
+            inlier_values=quantize_values(inliers, scales[:, None], config.inlier_bits),
+            inlier_indices=inlier_indices,
+            outlier_values=quantize_values(outliers, outlier_scales[:, None], config.outlier_bits),
+            outlier_indices=outlier_indices,
+            scales=scales,
+            outlier_scales=outlier_scales,
+            hidden_dim=hidden_dim,
+            config=config,
+        )
+
+    def unpack(self) -> np.ndarray:
+        """Reconstruct the full ``(num_tokens, hidden_dim)`` array (vectorized)."""
+        tokens = np.zeros((self.num_tokens, self.hidden_dim), dtype=np.float64)
+        if self.inlier_indices.shape[-1]:
+            np.put_along_axis(
+                tokens,
+                self.inlier_indices,
+                dequantize_values(self.inlier_values, self.scales[:, None]),
+                axis=-1,
+            )
+        if self.outlier_indices.shape[-1]:
+            np.put_along_axis(
+                tokens,
+                self.outlier_indices,
+                dequantize_values(self.outlier_values, self.outlier_scales[:, None]),
+                axis=-1,
+            )
+        return tokens
+
+    # ------------------------------------------------------------- accounting
+    @property
+    def num_tokens(self) -> int:
+        return int(self.scales.shape[0])
+
+    def __len__(self) -> int:
+        return self.num_tokens
+
+    def bits(self) -> float:
+        """Total packed size of the batch in bits (Fig. 7 layout accounting)."""
+        return self.num_tokens * self.config.bits_per_token(self.hidden_dim)
+
+    # ---------------------------------------------------------- compatibility
+    def token(self, index: int) -> QuantizedToken:
+        """The ``index``-th token as a per-token :class:`QuantizedToken` view."""
+        return QuantizedToken(
+            inlier_values=self.inlier_values[index],
+            inlier_indices=self.inlier_indices[index],
+            outlier_values=self.outlier_values[index],
+            outlier_indices=self.outlier_indices[index],
+            scale=float(self.scales[index]),
+            outlier_scale=float(self.outlier_scales[index]),
+            hidden_dim=self.hidden_dim,
+            config=self.config,
+        )
+
+    def to_tokens(self) -> List[QuantizedToken]:
+        """Materialize the legacy list-of-tokens representation."""
+        return [self.token(i) for i in range(self.num_tokens)]
+
+    @classmethod
+    def from_tokens(cls, tokens: List[QuantizedToken]) -> "PackedQuantizedTensor":
+        """Build the columnar layout from per-token objects (inverse of ``to_tokens``)."""
+        if not tokens:
+            raise ValueError("from_tokens requires at least one token")
+        first = tokens[0]
+        return cls(
+            inlier_values=np.stack([t.inlier_values for t in tokens]),
+            inlier_indices=np.stack([t.inlier_indices for t in tokens]),
+            outlier_values=np.stack([t.outlier_values for t in tokens]),
+            outlier_indices=np.stack([t.outlier_indices for t in tokens]),
+            scales=np.array([t.scale for t in tokens], dtype=np.float64),
+            outlier_scales=np.array([t.outlier_scale for t in tokens], dtype=np.float64),
+            hidden_dim=first.hidden_dim,
+            config=first.config,
+        )
+
+
 def quantize_token(token: np.ndarray, config: TokenQuantConfig) -> QuantizedToken:
     """Quantize a single token vector with dynamic outlier handling."""
     token = np.asarray(token, dtype=np.float64).reshape(-1)
@@ -134,12 +266,33 @@ def quantize_token(token: np.ndarray, config: TokenQuantConfig) -> QuantizedToke
     )
 
 
+def quantize_tokens_packed(tokens: np.ndarray, config: TokenQuantConfig) -> PackedQuantizedTensor:
+    """Quantize a 2-D array of tokens into the columnar packed layout."""
+    return PackedQuantizedTensor.pack(tokens, config)
+
+
 def quantize_tokens(tokens: np.ndarray, config: TokenQuantConfig) -> List[QuantizedToken]:
-    """Quantize a 2-D array of tokens (rows are tokens) one token at a time."""
-    tokens = np.asarray(tokens, dtype=np.float64)
-    if tokens.ndim != 2:
-        raise ValueError("tokens must be a 2-D array of shape (num_tokens, hidden_dim)")
-    return [quantize_token(row, config) for row in tokens]
+    """Quantize a 2-D array of tokens (rows are tokens).
+
+    The quantization itself runs through the batched
+    :meth:`PackedQuantizedTensor.pack`; only the returned per-token views are
+    materialized as objects, for callers that want the legacy list API.
+    """
+    return PackedQuantizedTensor.pack(tokens, config).to_tokens()
+
+
+def packed_fake_quantize_tokens(values: np.ndarray, config: TokenQuantConfig) -> np.ndarray:
+    """Token-wise fake quantization through the packed pack/unpack round trip.
+
+    Produces the same reconstruction as :func:`fake_quantize_tokens` but by
+    exercising the exact storage path of the hardware (top-k split, per-token
+    scales, integer grids, scatter-based reassembly), which is what the
+    packed-layout parity tests and the packed AAQ contexts run.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    original_shape = values.shape
+    flat = values.reshape(-1, original_shape[-1])
+    return PackedQuantizedTensor.pack(flat, config).unpack().reshape(original_shape)
 
 
 def fake_quantize_tokens(values: np.ndarray, config: TokenQuantConfig) -> np.ndarray:

@@ -21,7 +21,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+import numpy as np
+
 from ..ppm.config import PPMConfig
+from ..ppm.op_table import OperatorTable, get_op_table
 from ..ppm.workload import (
     ENGINE_MATMUL,
     PHASE_INPUT_EMBEDDING,
@@ -30,7 +33,6 @@ from ..ppm.workload import (
     PHASE_STRUCTURE,
     Operator,
     Workload,
-    build_model_ops,
     pair_activation_elements,
     score_matrix_elements,
     sequence_activation_elements,
@@ -115,7 +117,8 @@ class GPUModel:
         launch_time = kernels * self.gpu.kernel_launch_us * 1e-6
         return max(compute_time, memory_time) + launch_time, kernels
 
-    def simulate_workload(self, workload: Workload, chunked: bool = False) -> GPULatencyReport:
+    def simulate_workload_legacy(self, workload: Workload, chunked: bool = False) -> GPULatencyReport:
+        """Reference implementation: one Python iteration per operator."""
         phase_seconds: Dict[str, float] = {}
         subphase_seconds: Dict[str, float] = {}
         total = 0.0
@@ -139,9 +142,50 @@ class GPUModel:
             out_of_memory=oom,
         )
 
+    def simulate_table(self, table: OperatorTable, chunked: bool = False) -> GPULatencyReport:
+        """Vectorized roofline model over the columns of an :class:`OperatorTable`."""
+        eff = self.gpu.effective_flops
+        is_matmul = table.engine_mask(ENGINE_MATMUL)
+        chunk_applies = table.phase_mask(PHASE_PAIR) & chunked
+
+        flops = table.flops
+        matmul_eff = np.where(chunk_applies, eff * CHUNK_COMPUTE_PENALTY, eff)
+        compute_time = np.where(is_matmul, flops / matmul_eff, flops / (eff * 0.1))
+
+        traffic = (
+            table.input_elements + table.output_elements
+        ) * FP16_BYTES + table.weight_elements * FP16_BYTES
+        traffic = np.where(chunk_applies, traffic * CHUNK_TRAFFIC_FACTOR, traffic)
+        memory_time = traffic / self.gpu.effective_bandwidth
+
+        tokens = np.maximum(1.0, table.output_elements / max(self.ppm_config.pair_dim, 1))
+        kernels = np.where(chunk_applies, np.maximum(1.0, tokens ** 0.5 / CHUNK_ROWS), 1.0)
+        seconds = np.maximum(compute_time, memory_time) + kernels * (
+            self.gpu.kernel_launch_us * 1e-6
+        )
+
+        phase_seconds = table.weighted_sums("phase", seconds)
+        subphase_seconds = {
+            sub: s for sub, s in table.weighted_sums("subphase", seconds).items() if sub
+        }
+        return GPULatencyReport(
+            gpu=self.gpu.name,
+            sequence_length=table.sequence_length,
+            chunked=chunked,
+            total_seconds=float(np.sum(seconds)),
+            phase_seconds=phase_seconds,
+            subphase_seconds=subphase_seconds,
+            kernel_count=float(np.sum(kernels)),
+            out_of_memory=not self.fits_in_memory(table.sequence_length, chunked=chunked),
+        )
+
+    def simulate_workload(self, workload: Workload, chunked: bool = False) -> GPULatencyReport:
+        """Simulate an explicit workload through the columnar engine."""
+        return self.simulate_table(OperatorTable.from_workload(workload), chunked=chunked)
+
     def simulate(self, sequence_length: int, chunked: bool = False) -> GPULatencyReport:
-        workload = build_model_ops(self.ppm_config, sequence_length)
-        return self.simulate_workload(workload, chunked=chunked)
+        table = get_op_table(self.ppm_config, sequence_length)
+        return self.simulate_table(table, chunked=chunked)
 
     # ------------------------------------------------------------------ memory
     def weight_bytes(self, include_language_model: bool = True) -> float:

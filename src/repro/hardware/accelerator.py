@@ -11,16 +11,25 @@ Per the paper, the overall latency of each pipeline stage is the longest of
 the engine delays for that stage; the end-to-end latency is their sum.  The
 token-wise MHA optimization (Section 5.4) keeps the attention score matrix on
 chip, which removes both its DRAM traffic and its quantization cost.
+
+The hot path is columnar: :meth:`LightNobelAccelerator.simulate` fetches the
+LRU-cached :class:`~repro.ppm.op_table.OperatorTable` and evaluates all engine
+latencies as vectorized expressions over its columns.  The original
+per-operator loop is kept as :meth:`simulate_workload_legacy` and serves as
+the numerical reference for the parity tests and perf benchmarks.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..core.aaq import AAQConfig
 from ..ppm.activation_tap import GROUP_C
 from ..ppm.config import PPMConfig
+from ..ppm.op_table import OperatorTable, get_op_table
 from ..ppm.workload import (
     ENGINE_MATMUL,
     PHASE_INPUT_EMBEDDING,
@@ -29,10 +38,10 @@ from ..ppm.workload import (
     PHASE_STRUCTURE,
     Operator,
     Workload,
-    build_model_ops,
 )
 from .config import LightNobelConfig
 from .memory import HBMModel
+from .pe import units_per_mac
 from .rmpu import RMPU
 from .vvpu import VVPU
 
@@ -64,22 +73,81 @@ class OperatorLatency:
 
 
 @dataclass
+class _LatencyColumns:
+    """Columnar per-operator latencies backing a lazily-built object list."""
+
+    names: Sequence[str]
+    phase_codes: np.ndarray
+    phases: Tuple[str, ...]
+    subphase_codes: np.ndarray
+    subphases: Tuple[str, ...]
+    rmpu_cycles: np.ndarray
+    vvpu_cycles: np.ndarray
+    memory_cycles: np.ndarray
+
+    def materialize(self) -> List[OperatorLatency]:
+        return [
+            OperatorLatency(
+                name=name,
+                phase=self.phases[p],
+                subphase=self.subphases[s],
+                rmpu_cycles=float(r),
+                vvpu_cycles=float(v),
+                memory_cycles=float(m),
+            )
+            for name, p, s, r, v, m in zip(
+                self.names,
+                self.phase_codes,
+                self.subphase_codes,
+                self.rmpu_cycles,
+                self.vvpu_cycles,
+                self.memory_cycles,
+            )
+        ]
+
+
+@dataclass
 class LatencyReport:
     """Result of simulating one PPM inference on LightNobel."""
 
     sequence_length: int
     total_cycles: float
     total_seconds: float
-    operator_latencies: list = field(default_factory=list)
     phase_cycles: Dict[str, float] = field(default_factory=dict)
     subphase_cycles: Dict[str, float] = field(default_factory=dict)
     dram_bytes: float = 0.0
+    _latencies: Optional[List[OperatorLatency]] = None
+    _columns: Optional[_LatencyColumns] = None
+
+    @property
+    def operator_latencies(self) -> List[OperatorLatency]:
+        """Per-operator latencies (materialized on demand on the columnar path)."""
+        if self._latencies is None:
+            self._latencies = self._columns.materialize() if self._columns else []
+        return self._latencies
 
     def phase_seconds(self, clock_hz: float) -> Dict[str, float]:
         return {phase: cycles / clock_hz for phase, cycles in self.phase_cycles.items()}
 
     def bottleneck_share(self) -> Dict[str, float]:
         """Fraction of stage latency bound by each engine."""
+        if self._columns is not None:
+            stacked = np.vstack(
+                [
+                    self._columns.rmpu_cycles,
+                    self._columns.vvpu_cycles,
+                    self._columns.memory_cycles,
+                ]
+            )
+            stage = stacked.max(axis=0)
+            winner = stacked.argmax(axis=0)
+            sums = np.bincount(winner, weights=stage, minlength=3)
+            total = float(sums.sum()) or 1.0
+            return {
+                "rmpu": float(sums[0]) / total,
+                "vvpu": float(sums[1]) / total,
+                "memory": float(sums[2]) / total,
+            }
         totals: Dict[str, float] = {"rmpu": 0.0, "vvpu": 0.0, "memory": 0.0}
         for op in self.operator_latencies:
             totals[op.bottleneck] += op.stage_cycles
@@ -122,8 +190,60 @@ class LightNobelAccelerator:
         weight_bytes = op.weight_elements * 2.0  # 16-bit weights, streamed once
         return in_bytes + out_bytes + weight_bytes
 
+    # --------------------------------------------------- per-group constants
+    def _group_parameters(
+        self, groups: Tuple[Optional[str], ...]
+    ) -> Dict[str, np.ndarray]:
+        """Per-group scalars of the engine models, indexed by table group code.
+
+        Mirrors, term by term, the arithmetic of :meth:`RMPU.operator_cycles`,
+        :meth:`VVPU.quantization_cycles` and :meth:`operator_dram_bytes` so the
+        vectorized path is bit-identical to the legacy per-operator loop.
+        """
+        rmpu_hidden = self.rmpu.config_hidden_dim()
+        quant_hidden = self.ppm_config.pair_dim
+        units_base = self.rmpu.units_per_cycle()
+        count = len(groups)
+        avg_units = np.zeros(count)
+        rmpu_denominator = np.ones(count)
+        quant_cycles_per_token = np.zeros(count)
+        bytes_out = np.zeros(count)
+        bytes_in = np.zeros(count)
+        quantized = np.zeros(count, dtype=bool)
+        for code, group in enumerate(groups):
+            effective = group or GROUP_C
+            quant = self.aaq_config.config_for(effective)
+            outliers = min(quant.outlier_count, rmpu_hidden)
+            inlier_fraction = (rmpu_hidden - outliers) / rmpu_hidden
+            avg_units[code] = (
+                inlier_fraction * units_per_mac(quant.inlier_bits, 16.0)
+                + (1 - inlier_fraction) * units_per_mac(quant.outlier_bits, 16.0)
+            )
+            utilization = self.rmpu.utilization_for(quant, rmpu_hidden, 16.0)
+            rmpu_denominator[code] = units_base * utilization
+
+            per_token = self.vvpu.timings.quantize_passes
+            if quant.outlier_count > 0:
+                per_token += self.vvpu.timings.topk_cycles(quant_hidden)
+            else:
+                per_token += 1
+            quant_cycles_per_token[code] = per_token
+
+            bytes_out[code] = self.activation_bytes_per_element(group)
+            bytes_in[code] = self.activation_bytes_per_element(effective)
+            quantized[code] = group is not None
+        return {
+            "avg_units": avg_units,
+            "rmpu_denominator": rmpu_denominator,
+            "quant_cycles_per_token": quant_cycles_per_token,
+            "bytes_out": bytes_out,
+            "bytes_in": bytes_in,
+            "quantized": quantized,
+        }
+
     # -------------------------------------------------------------- simulation
     def simulate_operator(self, op: Operator) -> OperatorLatency:
+        """Legacy per-operator reference model (kept for parity checks)."""
         quantize_output = op.output_group is not None and not (op.fusible and self.tokenwise_mha)
         rmpu_cycles = 0.0
         vvpu_cycles = 0.0
@@ -147,7 +267,8 @@ class LightNobelAccelerator:
             memory_cycles=memory_cycles,
         )
 
-    def simulate_workload(self, workload: Workload) -> LatencyReport:
+    def simulate_workload_legacy(self, workload: Workload) -> LatencyReport:
+        """Reference implementation: one Python iteration per operator."""
         operator_latencies = [self.simulate_operator(op) for op in workload.operators]
         phase_cycles: Dict[str, float] = {}
         subphase_cycles: Dict[str, float] = {}
@@ -165,16 +286,91 @@ class LightNobelAccelerator:
             sequence_length=workload.sequence_length,
             total_cycles=total,
             total_seconds=total / self.hw_config.cycles_per_second,
-            operator_latencies=operator_latencies,
             phase_cycles=phase_cycles,
             subphase_cycles=subphase_cycles,
             dram_bytes=dram_bytes,
+            _latencies=operator_latencies,
         )
+
+    def simulate_table(self, table: OperatorTable) -> LatencyReport:
+        """Vectorized simulation over the columns of an :class:`OperatorTable`."""
+        params = self._group_parameters(table.groups)
+        g = table.group_codes
+        fill = float(self.hw_config.pipeline_fill_cycles)
+
+        # RMPU: bit-decomposed matmul throughput under the group's AAQ scheme.
+        is_matmul = table.engine_mask(ENGINE_MATMUL)
+        rmpu_cycles = np.where(
+            is_matmul & (table.macs > 0),
+            (table.macs * params["avg_units"][g]) / params["rmpu_denominator"][g] + fill,
+            0.0,
+        )
+
+        # VVPU: vector operators plus runtime quantization of quantized outputs.
+        vvpu_cycles = np.where(
+            ~is_matmul & (table.vector_ops > 0),
+            table.vector_ops / self.vvpu.lanes() + fill,
+            0.0,
+        )
+        on_chip = table.fusible & self.tokenwise_mha
+        quantize_output = params["quantized"][g] & ~on_chip
+        tokens = table.output_elements / self.ppm_config.pair_dim
+        vvpus = max(1, self.hw_config.num_vvpus)
+        vvpu_cycles = vvpu_cycles + np.where(
+            quantize_output, tokens * params["quant_cycles_per_token"][g] / vvpus, 0.0
+        )
+
+        # HBM: burst-aligned traffic at the quantized activation sizes.
+        dram = np.where(
+            on_chip,
+            0.0,
+            table.input_elements * params["bytes_in"][g]
+            + table.output_elements * params["bytes_out"][g]
+            + table.weight_elements * 2.0,
+        )
+        burst = self.hw_config.burst_bytes
+        memory_cycles = np.where(
+            dram > 0, np.ceil(dram / burst) * burst / self.hbm.bytes_per_cycle, 0.0
+        )
+
+        stage = (
+            np.maximum(np.maximum(rmpu_cycles, vvpu_cycles), memory_cycles)
+            + self.hw_config.per_op_overhead_cycles
+        )
+        total = float(np.sum(stage)) + self.hw_config.pipeline_fill_cycles
+
+        phase_cycles = table.weighted_sums("phase", stage)
+        subphase_cycles = {
+            sub: cycles for sub, cycles in table.weighted_sums("subphase", stage).items() if sub
+        }
+
+        return LatencyReport(
+            sequence_length=table.sequence_length,
+            total_cycles=total,
+            total_seconds=total / self.hw_config.cycles_per_second,
+            phase_cycles=phase_cycles,
+            subphase_cycles=subphase_cycles,
+            dram_bytes=float(np.sum(dram)),
+            _columns=_LatencyColumns(
+                names=table.names,
+                phase_codes=table.phase_codes,
+                phases=table.phases,
+                subphase_codes=table.subphase_codes,
+                subphases=table.subphases,
+                rmpu_cycles=rmpu_cycles,
+                vvpu_cycles=vvpu_cycles,
+                memory_cycles=memory_cycles,
+            ),
+        )
+
+    def simulate_workload(self, workload: Workload) -> LatencyReport:
+        """Simulate an explicit workload through the columnar engine."""
+        return self.simulate_table(OperatorTable.from_workload(workload))
 
     def simulate(self, sequence_length: int, include_recycles: bool = False) -> LatencyReport:
         """Simulate one inference at ``sequence_length`` residues."""
-        workload = build_model_ops(self.ppm_config, sequence_length, include_recycles=include_recycles)
-        return self.simulate_workload(workload)
+        table = get_op_table(self.ppm_config, sequence_length, include_recycles=include_recycles)
+        return self.simulate_table(table)
 
     # ------------------------------------------------------------- convenience
     def folding_block_seconds(self, sequence_length: int) -> float:

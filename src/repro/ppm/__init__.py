@@ -18,6 +18,13 @@ from .folding_block import FoldingBlock, FoldingTrunk, TrunkOutput
 from .functional import gelu, layer_norm, relu, sigmoid, softmax
 from .model import PredictionResult, ProteinStructureModel
 from .modules import LayerNorm, Linear, Module, Transition
+from .op_table import (
+    OperatorTable,
+    clear_workload_caches,
+    get_op_table,
+    get_workload,
+    workload_cache_info,
+)
 from .structure_module import (
     StructureModule,
     StructurePrediction,
@@ -43,6 +50,7 @@ __all__ = [
     "LayerNorm",
     "Linear",
     "Module",
+    "OperatorTable",
     "OuterProductMean",
     "PPMConfig",
     "PredictionResult",
@@ -56,7 +64,10 @@ __all__ = [
     "TriangleAttention",
     "TriangleMultiplication",
     "TrunkOutput",
+    "clear_workload_caches",
     "gelu",
+    "get_op_table",
+    "get_workload",
     "layer_norm",
     "mds_embedding",
     "mean_torsion_sign",
@@ -66,4 +77,5 @@ __all__ = [
     "softmax",
     "stress_refinement",
     "summarize_activation",
+    "workload_cache_info",
 ]

@@ -1,0 +1,304 @@
+"""Columnar (struct-of-arrays) operator-graph engine.
+
+:mod:`repro.ppm.workload` describes one PPM inference as a list of ~3k
+:class:`~repro.ppm.workload.Operator` dataclasses.  That representation is
+ideal for building and inspecting the graph, but every simulator downstream
+(the LightNobel accelerator, the GPU baseline, the cost models) only ever
+consumes whole *columns* of it — MAC counts, element counts, phase labels —
+and the DSE/length sweeps re-consume the identical graph dozens of times.
+
+:class:`OperatorTable` stores the same graph as numpy columns plus small
+per-table string vocabularies (phases, subphases, engines, activation groups)
+with integer code arrays, so reductions like "total MACs of the pair dataflow"
+are single vectorized expressions instead of Python loops.  Tables convert
+losslessly to and from :class:`~repro.ppm.workload.Workload`, and
+:func:`get_op_table` / :func:`get_workload` add an LRU cache keyed on
+``(config, n, include_recycles)`` so repeated sweeps stop rebuilding the graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .config import PPMConfig
+from .workload import Operator, Workload, build_model_ops
+
+#: Column names holding per-operator numeric data.
+NUMERIC_COLUMNS = (
+    "macs",
+    "vector_ops",
+    "input_elements",
+    "output_elements",
+    "weight_elements",
+)
+
+
+def _encode(labels: Sequence) -> Tuple[np.ndarray, Tuple]:
+    """Factorize ``labels`` into integer codes plus a first-appearance vocab."""
+    vocab: List = []
+    index: Dict = {}
+    codes = np.empty(len(labels), dtype=np.int64)
+    for i, label in enumerate(labels):
+        code = index.get(label)
+        if code is None:
+            code = len(vocab)
+            index[label] = code
+            vocab.append(label)
+        codes[i] = code
+    return codes, tuple(vocab)
+
+
+def _freeze(array: np.ndarray) -> np.ndarray:
+    array.flags.writeable = False
+    return array
+
+
+@dataclass(frozen=True, eq=False)
+class OperatorTable:
+    """One operator graph stored column-wise (struct of arrays)."""
+
+    sequence_length: int
+    config: PPMConfig
+    names: Tuple[str, ...]
+    engines: Tuple[str, ...]
+    engine_codes: np.ndarray
+    phases: Tuple[str, ...]
+    phase_codes: np.ndarray
+    subphases: Tuple[str, ...]
+    subphase_codes: np.ndarray
+    groups: Tuple[Optional[str], ...]
+    group_codes: np.ndarray
+    macs: np.ndarray
+    vector_ops: np.ndarray
+    input_elements: np.ndarray
+    output_elements: np.ndarray
+    weight_elements: np.ndarray
+    fusible: np.ndarray
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def from_operators(
+        cls, operators: Sequence[Operator], config: PPMConfig, sequence_length: int
+    ) -> "OperatorTable":
+        engine_codes, engines = _encode([op.engine for op in operators])
+        phase_codes, phases = _encode([op.phase for op in operators])
+        subphase_codes, subphases = _encode([op.subphase for op in operators])
+        group_codes, groups = _encode([op.output_group for op in operators])
+        return cls(
+            sequence_length=sequence_length,
+            config=config,
+            names=tuple(op.name for op in operators),
+            engines=engines,
+            engine_codes=_freeze(engine_codes),
+            phases=phases,
+            phase_codes=_freeze(phase_codes),
+            subphases=subphases,
+            subphase_codes=_freeze(subphase_codes),
+            groups=groups,
+            group_codes=_freeze(group_codes),
+            macs=_freeze(np.array([op.macs for op in operators], dtype=np.float64)),
+            vector_ops=_freeze(np.array([op.vector_ops for op in operators], dtype=np.float64)),
+            input_elements=_freeze(
+                np.array([op.input_elements for op in operators], dtype=np.float64)
+            ),
+            output_elements=_freeze(
+                np.array([op.output_elements for op in operators], dtype=np.float64)
+            ),
+            weight_elements=_freeze(
+                np.array([op.weight_elements for op in operators], dtype=np.float64)
+            ),
+            fusible=_freeze(np.array([op.fusible for op in operators], dtype=bool)),
+        )
+
+    @classmethod
+    def from_workload(cls, workload: Workload) -> "OperatorTable":
+        return cls.from_operators(workload.operators, workload.config, workload.sequence_length)
+
+    def to_workload(self) -> Workload:
+        """Materialize the equivalent object graph (inverse of ``from_workload``)."""
+        operators = [
+            Operator(
+                name=self.names[i],
+                engine=self.engines[self.engine_codes[i]],
+                phase=self.phases[self.phase_codes[i]],
+                subphase=self.subphases[self.subphase_codes[i]],
+                macs=float(self.macs[i]),
+                vector_ops=float(self.vector_ops[i]),
+                input_elements=float(self.input_elements[i]),
+                output_elements=float(self.output_elements[i]),
+                weight_elements=float(self.weight_elements[i]),
+                output_group=self.groups[self.group_codes[i]],
+                fusible=bool(self.fusible[i]),
+            )
+            for i in range(len(self))
+        ]
+        return Workload(
+            sequence_length=self.sequence_length, config=self.config, operators=operators
+        )
+
+    # ---------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self.names)
+
+    @property
+    def flops(self) -> np.ndarray:
+        return 2.0 * self.macs + self.vector_ops
+
+    def total_macs(self) -> float:
+        return float(np.sum(self.macs))
+
+    def total_vector_ops(self) -> float:
+        return float(np.sum(self.vector_ops))
+
+    def total_flops(self) -> float:
+        return float(np.sum(self.flops))
+
+    def column(self, name: str) -> np.ndarray:
+        if name == "flops":
+            return self.flops
+        if name not in NUMERIC_COLUMNS:
+            raise ValueError(f"unknown numeric column {name!r}")
+        return getattr(self, name)
+
+    # ----------------------------------------------------------------- masks
+    def engine_mask(self, engine: str) -> np.ndarray:
+        if engine not in self.engines:
+            return np.zeros(len(self), dtype=bool)
+        return self.engine_codes == self.engines.index(engine)
+
+    def phase_mask(self, phase: str) -> np.ndarray:
+        if phase not in self.phases:
+            return np.zeros(len(self), dtype=bool)
+        return self.phase_codes == self.phases.index(phase)
+
+    def subphase_mask(self, subphase: str) -> np.ndarray:
+        if subphase not in self.subphases:
+            return np.zeros(len(self), dtype=bool)
+        return self.subphase_codes == self.subphases.index(subphase)
+
+    def select(self, mask: np.ndarray) -> "OperatorTable":
+        """Sub-table of the rows where ``mask`` is True (labels re-factorized)."""
+        indices = np.nonzero(np.asarray(mask, dtype=bool))[0]
+        engine_codes, engines = _encode([self.engines[self.engine_codes[i]] for i in indices])
+        phase_codes, phases = _encode([self.phases[self.phase_codes[i]] for i in indices])
+        subphase_codes, subphases = _encode(
+            [self.subphases[self.subphase_codes[i]] for i in indices]
+        )
+        group_codes, groups = _encode([self.groups[self.group_codes[i]] for i in indices])
+        return OperatorTable(
+            sequence_length=self.sequence_length,
+            config=self.config,
+            names=tuple(self.names[i] for i in indices),
+            engines=engines,
+            engine_codes=_freeze(engine_codes),
+            phases=phases,
+            phase_codes=_freeze(phase_codes),
+            subphases=subphases,
+            subphase_codes=_freeze(subphase_codes),
+            groups=groups,
+            group_codes=_freeze(group_codes),
+            macs=_freeze(self.macs[indices]),
+            vector_ops=_freeze(self.vector_ops[indices]),
+            input_elements=_freeze(self.input_elements[indices]),
+            output_elements=_freeze(self.output_elements[indices]),
+            weight_elements=_freeze(self.weight_elements[indices]),
+            fusible=_freeze(self.fusible[indices]),
+        )
+
+    def filter(
+        self,
+        phase: Optional[str] = None,
+        engine: Optional[str] = None,
+        subphase: Optional[str] = None,
+    ) -> "OperatorTable":
+        """Sub-table matching the given phase/engine/subphase (AND semantics)."""
+        mask = np.ones(len(self), dtype=bool)
+        if phase is not None:
+            mask &= self.phase_mask(phase)
+        if engine is not None:
+            mask &= self.engine_mask(engine)
+        if subphase is not None:
+            mask &= self.subphase_mask(subphase)
+        return self.select(mask)
+
+    # --------------------------------------------------------------- groupby
+    def _codes_for(self, key: str) -> Tuple[np.ndarray, Tuple]:
+        try:
+            return {
+                "phase": (self.phase_codes, self.phases),
+                "subphase": (self.subphase_codes, self.subphases),
+                "engine": (self.engine_codes, self.engines),
+                "group": (self.group_codes, self.groups),
+            }[key]
+        except KeyError:
+            raise ValueError(
+                f"unknown groupby key {key!r}; expected phase/subphase/engine/group"
+            ) from None
+
+    def groupby_sum(self, key: str, column: str = "macs") -> Dict:
+        """Sum a numeric column per label of ``key`` (phase/subphase/engine/group)."""
+        return self.weighted_sums(key, self.column(column))
+
+    def weighted_sums(self, key: str, weights: np.ndarray) -> Dict:
+        """Sum an arbitrary per-operator array per label of ``key``.
+
+        Like :meth:`groupby_sum`, but over caller-computed per-operator values
+        (e.g. the simulators' stage latencies) instead of a stored column.
+        """
+        codes, vocab = self._codes_for(key)
+        sums = np.bincount(codes, weights=weights, minlength=len(vocab))
+        return {label: float(sums[i]) for i, label in enumerate(vocab)}
+
+    def by_phase(self) -> Dict[str, "OperatorTable"]:
+        """Sub-table per phase, in first-appearance order (columnar ``by_phase``)."""
+        return {phase: self.select(self.phase_codes == code)
+                for code, phase in enumerate(self.phases)}
+
+    def phase_sums(self, column: str = "macs") -> Dict[str, float]:
+        return self.groupby_sum("phase", column)
+
+
+# ------------------------------------------------------------------- caching
+@lru_cache(maxsize=64)
+def _cached_workload(config: PPMConfig, n: int, include_recycles: bool) -> Workload:
+    return build_model_ops(config, n, include_recycles=include_recycles)
+
+
+@lru_cache(maxsize=64)
+def _cached_table(config: PPMConfig, n: int, include_recycles: bool) -> OperatorTable:
+    return OperatorTable.from_workload(_cached_workload(config, n, include_recycles))
+
+
+def get_workload(config: PPMConfig, n: int, include_recycles: bool = False) -> Workload:
+    """LRU-cached :func:`~repro.ppm.workload.build_model_ops`.
+
+    Returns a fresh :class:`Workload` wrapper around the cached operator list
+    (the :class:`Operator` entries are frozen and shared), so mutating the
+    returned ``operators`` list cannot poison the cache.
+    """
+    cached = _cached_workload(config, int(n), bool(include_recycles))
+    return Workload(
+        sequence_length=cached.sequence_length,
+        config=cached.config,
+        operators=list(cached.operators),
+    )
+
+
+def get_op_table(config: PPMConfig, n: int, include_recycles: bool = False) -> OperatorTable:
+    """LRU-cached columnar operator table for ``(config, n, include_recycles)``."""
+    return _cached_table(config, int(n), bool(include_recycles))
+
+
+def clear_workload_caches() -> None:
+    """Drop all cached workloads/tables (mainly for tests and memory pressure)."""
+    _cached_table.cache_clear()
+    _cached_workload.cache_clear()
+
+
+def workload_cache_info():
+    """(workload, table) LRU statistics, for the perf benchmarks."""
+    return _cached_workload.cache_info(), _cached_table.cache_info()

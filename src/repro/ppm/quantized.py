@@ -23,6 +23,30 @@ from .config import PPMConfig
 from .model import PredictionResult, ProteinStructureModel
 
 
+class AAQScheme:
+    """Adapter running a raw AAQ configuration as a quantization scheme.
+
+    Used by the DSE sweeps and the packed-layout accuracy tests, where a bare
+    :class:`~repro.core.aaq.AAQConfig` (rather than a full Table 1 scheme) is
+    what varies.  ``use_packed=True`` injects quantization through the
+    :class:`~repro.core.token_quant.PackedQuantizedTensor` pack/unpack round
+    trip, i.e. the exact packed memory layout of the hardware.
+    """
+
+    weight_quant_bits = None
+
+    def __init__(self, config=None, use_packed: bool = False) -> None:
+        from ..core.aaq import AAQConfig, AAQQuantizer
+
+        self.config = config or AAQConfig.paper_optimal()
+        self.use_packed = use_packed
+        self.name = "AAQ (packed)" if use_packed else "AAQ"
+        self._quantizer = AAQQuantizer(self.config, use_packed=use_packed)
+
+    def make_context(self, recorder: Optional[ActivationRecorder] = None):
+        return self._quantizer.make_context(recorder)
+
+
 @dataclass
 class QuantizedPredictionResult:
     """Prediction result together with its accuracy versus the reference."""

@@ -17,6 +17,7 @@ comparisons apples-to-apples.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, Iterable, List, Optional
 
 from .activation_tap import GROUP_A, GROUP_B, GROUP_C
@@ -370,14 +371,23 @@ def sequence_activation_elements(config: PPMConfig, n: int) -> float:
     return float(n) * config.seq_dim
 
 
-def model_weight_elements(config: PPMConfig, include_language_model: bool = False) -> float:
-    """Total trunk weight elements (optionally including the language model)."""
+@lru_cache(maxsize=32)
+def _trunk_weight_elements(config: PPMConfig) -> float:
     workload = build_model_ops(config, 4)
-    weights = sum(
+    return sum(
         op.weight_elements
         for op in workload.operators
         if op.phase != PHASE_INPUT_EMBEDDING
     )
+
+
+def model_weight_elements(config: PPMConfig, include_language_model: bool = False) -> float:
+    """Total trunk weight elements (optionally including the language model).
+
+    Weight totals are sequence-length independent, so the trunk sum is
+    memoized per config instead of rebuilding the operator graph per call.
+    """
+    weights = _trunk_weight_elements(config)
     if include_language_model:
         weights += config.language_model_params
     return weights
