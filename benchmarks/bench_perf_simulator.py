@@ -6,8 +6,15 @@ vectorized + LRU-cached columnar engine against the per-operator legacy loop
 that rebuilds the operator graph on every call.  Prints the speedup table and
 asserts the columnar path is no slower (the repeated-sweep workload must be
 at least 5x faster; in practice it is 20-60x).
+
+A second benchmark covers the PR 2 unified simulation layer: a
+`SimulationSession.simulate_batch` backed by a warm on-disk table cache
+versus the PR 1 per-call path, in the cold-process regime (the LRU is cleared
+each round, as a fresh sweep worker would see) and in the warm in-process
+regime (where the session's report memo skips even the vectorized engine).
 """
 
+import tempfile
 import time
 
 from conftest import print_table
@@ -16,6 +23,7 @@ from repro.core.aaq import AAQConfig
 from repro.hardware import LightNobelAccelerator, LightNobelConfig
 from repro.ppm import PPMConfig, clear_workload_caches
 from repro.ppm.workload import build_model_ops
+from repro.sim import SimulationSession
 
 SEQUENCE_LENGTHS = (200, 400, 800)
 
@@ -133,3 +141,77 @@ def test_perf_columnar_vs_legacy(paper_config):
     # the 5x acceptance bar with margin.
     assert columnar_single <= legacy_single
     assert sweep_speedup >= 5.0
+
+
+def run_percall_cold(config):
+    """PR 1 per-call path as a fresh process sees it: rebuild every table."""
+    clear_workload_caches()
+    accelerator = LightNobelAccelerator(ppm_config=config)
+    return [accelerator.simulate(n).total_seconds for n in SEQUENCE_LENGTHS]
+
+
+def run_session_batch_cold(config, cache_dir):
+    """Session batch as a fresh process sees it: tables from the disk cache."""
+    clear_workload_caches()
+    session = SimulationSession(ppm_config=config, cache_dir=cache_dir)
+    batch = session.simulate_batch(SEQUENCE_LENGTHS, backends=["lightnobel"])
+    return batch.totals("lightnobel")
+
+
+def test_perf_session_batch_and_disk_cache(paper_config):
+    with tempfile.TemporaryDirectory(prefix="repro-sim-bench-") as cache_dir:
+        # Warm the disk cache once (one table build per distinct length).
+        run_session_batch_cold(paper_config, cache_dir)
+
+        percall_cold = time_call(lambda: run_percall_cold(paper_config), repeats=3)
+        session_cold = time_call(
+            lambda: run_session_batch_cold(paper_config, cache_dir), repeats=3
+        )
+
+        # Warm in-process regime: LRU is hot for the per-call path, the
+        # session additionally memoizes whole reports.
+        accelerator = LightNobelAccelerator(ppm_config=paper_config)
+        percall_warm = time_call(
+            lambda: [accelerator.simulate(n).total_seconds for n in SEQUENCE_LENGTHS],
+            repeats=5,
+        )
+        session = SimulationSession(ppm_config=paper_config, cache_dir=cache_dir)
+        session.simulate_batch(SEQUENCE_LENGTHS, backends=["lightnobel"])
+        session_warm = time_call(
+            lambda: session.simulate_batch(
+                SEQUENCE_LENGTHS, backends=["lightnobel"]
+            ).totals("lightnobel"),
+            repeats=5,
+        )
+
+        cold_speedup = percall_cold / session_cold
+        warm_speedup = percall_warm / session_warm
+        print_table(
+            "Sim layer perf: simulate_batch + disk cache vs PR 1 per-call path",
+            [
+                ("regime", "per-call", "session batch", "speedup"),
+                (
+                    f"cold process ({len(SEQUENCE_LENGTHS)} lengths, warm disk cache)",
+                    f"{percall_cold * 1e3:8.1f} ms",
+                    f"{session_cold * 1e3:8.1f} ms",
+                    f"{cold_speedup:5.1f}x",
+                ),
+                (
+                    "warm in-process (report memo vs LRU re-evaluation)",
+                    f"{percall_warm * 1e3:8.2f} ms",
+                    f"{session_warm * 1e3:8.2f} ms",
+                    f"{warm_speedup:5.1f}x",
+                ),
+            ],
+        )
+
+        # Identical numbers out of both paths.
+        expected = run_percall_cold(paper_config)
+        actual = run_session_batch_cold(paper_config, cache_dir)
+        for fast, slow in zip(actual, expected):
+            assert abs(fast - slow) / slow < 1e-9
+
+        # The batch + warm-disk-cache path must beat the per-call path
+        # measurably in the cold-process regime (the sharded-sweep regime).
+        assert cold_speedup >= 1.5
+        assert session_warm <= percall_warm * 1.5  # memo path never slower

@@ -17,6 +17,11 @@ Sub-packages
     Synthetic protein/dataset substrate and structure-quality metrics.
 ``repro.hardware`` / ``repro.gpu``
     LightNobel accelerator simulator and A100/H100 analytical baselines.
+``repro.sim``
+    Unified simulation-backend layer: every latency number flows through a
+    :class:`~repro.sim.session.SimulationSession` (batch API, backend
+    registry, process-pool ``sweep()``, on-disk table/report cache keyed by
+    stable config digests — see the :mod:`repro.sim` docstring for usage).
 ``repro.analysis``
     Cost models, activation statistics and design-space exploration.
 """

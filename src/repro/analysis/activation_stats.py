@@ -7,8 +7,8 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..core.groups import GroupStatistics, classification_agreement, group_statistics
-from ..ppm.activation_tap import ActivationRecorder
+from ..core.groups import GroupStatistics, classification_agreement
+from ..ppm.activation_tap import GROUPS, ActivationRecorder
 from ..ppm.config import PPMConfig
 from ..ppm.model import ProteinStructureModel
 from ..proteins.structure import ProteinStructure
@@ -78,8 +78,28 @@ def figure5_analysis(recorder: ActivationRecorder) -> List[DistributionAnalysis]
 
 
 def figure6c_statistics(recorder: ActivationRecorder) -> List[GroupStatistics]:
-    """Group A/B/C statistics (Fig. 6c) from recorded activations."""
-    return group_statistics(recorder.records)
+    """Group A/B/C statistics (Fig. 6c) from recorded activations.
+
+    Aggregates straight off the recorder's columnar stat buffers (no
+    :class:`~repro.ppm.activation_tap.ActivationRecord` materialization);
+    numerically identical to ``group_statistics(recorder.records)``.
+    """
+    mean_abs = recorder.stat_column("mean_abs")
+    outliers = recorder.stat_column("outlier_count_3sigma")
+    stats: List[GroupStatistics] = []
+    for group in GROUPS:
+        mask = recorder.group_mask(group)
+        if not mask.any():
+            continue
+        stats.append(
+            GroupStatistics(
+                group=group,
+                mean_abs=float(mean_abs[mask].mean()),
+                outliers_per_token=float(outliers[mask].mean()),
+                record_count=int(mask.sum()),
+            )
+        )
+    return stats
 
 
 def group_separation_report(recorder: ActivationRecorder) -> Dict[str, float]:

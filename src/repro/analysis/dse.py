@@ -9,8 +9,8 @@ import numpy as np
 
 from ..core.aaq import AAQConfig
 from ..core.token_quant import TokenQuantConfig, token_quantization_rmse
-from ..hardware.accelerator import LightNobelAccelerator
 from ..hardware.config import LightNobelConfig
+from ..sim import SweepPoint, sweep
 from ..ppm.config import PPMConfig
 from ..ppm.model import ProteinStructureModel
 from ..ppm.quantized import AAQScheme, QuantizedPPM
@@ -167,34 +167,49 @@ def hardware_dse(
     fixed_vvpus_per_rmpu: int = 4,
     fixed_rmpus: int = 32,
     config: Optional[PPMConfig] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, List[HardwareDSEPoint]]:
-    """Fig. 12: latency versus #VVPUs/RMPU (a) and versus #RMPUs (b)."""
+    """Fig. 12: latency versus #VVPUs/RMPU (a) and versus #RMPUs (b).
+
+    Every (hardware config, length) point is independent, so the whole grid is
+    submitted to :func:`repro.sim.sweep` as one flat point list; ``workers``
+    > 1 shards it across a process pool (serial otherwise, identical numbers
+    either way).
+    """
     config = config or PPMConfig.paper()
     lengths = list(sequence_lengths)
 
-    def average_latency(hw: LightNobelConfig) -> float:
-        accelerator = LightNobelAccelerator(hw_config=hw, ppm_config=config)
-        return float(np.mean([accelerator.simulate(n).total_seconds for n in lengths]))
+    vvpu_configs = [
+        LightNobelConfig(num_rmpus=fixed_rmpus, vvpus_per_rmpu=v) for v in vvpu_counts
+    ]
+    rmpu_configs = [
+        LightNobelConfig(num_rmpus=r, vvpus_per_rmpu=fixed_vvpus_per_rmpu)
+        for r in rmpu_counts
+    ]
+    grid = vvpu_configs + rmpu_configs
+    points = [SweepPoint(hw, n) for hw in grid for n in lengths]
+    reports = sweep(points, ppm_config=config, workers=workers)
+
+    def average_latency(config_index: int) -> float:
+        start = config_index * len(lengths)
+        block = reports[start : start + len(lengths)]
+        return float(np.mean([r.total_seconds for r in block]))
 
     vvpu_sweep = [
         HardwareDSEPoint(
             num_rmpus=fixed_rmpus,
-            vvpus_per_rmpu=v,
-            average_latency_seconds=average_latency(
-                LightNobelConfig(num_rmpus=fixed_rmpus, vvpus_per_rmpu=v)
-            ),
+            vvpus_per_rmpu=hw.vvpus_per_rmpu,
+            average_latency_seconds=average_latency(i),
         )
-        for v in vvpu_counts
+        for i, hw in enumerate(vvpu_configs)
     ]
     rmpu_sweep = [
         HardwareDSEPoint(
-            num_rmpus=r,
+            num_rmpus=hw.num_rmpus,
             vvpus_per_rmpu=fixed_vvpus_per_rmpu,
-            average_latency_seconds=average_latency(
-                LightNobelConfig(num_rmpus=r, vvpus_per_rmpu=fixed_vvpus_per_rmpu)
-            ),
+            average_latency_seconds=average_latency(len(vvpu_configs) + i),
         )
-        for r in rmpu_counts
+        for i, hw in enumerate(rmpu_configs)
     ]
     return {"vvpu_sweep": vvpu_sweep, "rmpu_sweep": rmpu_sweep}
 

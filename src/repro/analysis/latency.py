@@ -1,23 +1,24 @@
-"""Latency breakdown (Fig. 3) and hardware performance comparison (Fig. 14b-d)."""
+"""Latency breakdown (Fig. 3) and hardware performance comparison (Fig. 14b-d).
+
+Both figures are thin views over the unified simulation layer: a
+:class:`~repro.sim.session.SimulationSession` resolves the backends, owns the
+cached operator tables and memoizes one report per (backend, length) pair, so
+one dataset sweep never simulates the same point twice.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, Optional
 
-from ..hardware.accelerator import LightNobelAccelerator
 from ..hardware.config import LightNobelConfig
 from ..ppm.config import PPMConfig
 from ..ppm.workload import (
-    PHASE_INPUT_EMBEDDING,
     PHASE_PAIR,
     PHASE_SEQUENCE,
-    PHASE_STRUCTURE,
-    SUBPHASE_BIAS_MLP,
     SUBPHASE_TRI_ATT,
-    SUBPHASE_TRI_MULT,
 )
-from ..gpu.gpu_model import GPUModel
+from ..sim import AcceleratorVariant, SimulationSession, session_for
 
 
 @dataclass
@@ -45,10 +46,11 @@ def latency_breakdown(
     sequence_length: int,
     gpu: str = "H100",
     config: Optional[PPMConfig] = None,
+    session: Optional[SimulationSession] = None,
 ) -> LatencyBreakdown:
     """End-to-end GPU latency breakdown for one protein (Fig. 3 methodology)."""
-    config = config or PPMConfig.paper()
-    report = GPUModel(gpu, ppm_config=config).simulate(sequence_length, chunked=False)
+    session = session_for(config, session)
+    report = session.simulate(sequence_length, backend=gpu.lower())
     total = report.total_seconds or 1.0
     phase_fractions = {phase: seconds / total for phase, seconds in report.phase_seconds.items()}
     subphase_fractions = {sub: seconds / total for sub, seconds in report.subphase_seconds.items()}
@@ -85,37 +87,54 @@ def compare_hardware_on_lengths(
     gpus: Iterable[str] = ("A100", "H100"),
     exclude_oom: bool = False,
     only_oom_without_chunk: bool = False,
+    session: Optional[SimulationSession] = None,
 ) -> HardwareComparison:
     """Average folding-block latency over a dataset's sequence lengths.
 
     ``exclude_oom`` drops proteins that do not fit on the GPU without the
     chunk option (the Fig. 14c protocol); ``only_oom_without_chunk`` keeps only
-    those proteins (the Fig. 14d protocol).
+    those proteins (the Fig. 14d protocol).  All latencies come from one
+    :class:`~repro.sim.session.SimulationSession` batch, so each distinct
+    length builds its operator table exactly once for all backends.
     """
-    config = config or PPMConfig.paper()
-    lengths = list(sequence_lengths)
+    session = session_for(config, session)
+    lengths = [int(n) for n in sequence_lengths]
     if not lengths:
         raise ValueError("sequence_lengths must be non-empty")
 
-    reference_gpu = GPUModel("H100", ppm_config=config)
+    reference_gpu = session.backend("h100")
     if exclude_oom:
-        lengths = [n for n in lengths if reference_gpu.fits_in_memory(n, chunked=False)]
+        lengths = [n for n in lengths if reference_gpu.model.fits_in_memory(n, chunked=False)]
     if only_oom_without_chunk:
-        lengths = [n for n in lengths if not reference_gpu.fits_in_memory(n, chunked=False)]
+        lengths = [n for n in lengths if not reference_gpu.model.fits_in_memory(n, chunked=False)]
     if not lengths:
         raise ValueError("no proteins remain after the OOM filter")
 
-    accelerator = LightNobelAccelerator(hw_config=hw_config, ppm_config=config)
-    lightnobel = sum(accelerator.folding_block_seconds(n) for n in lengths) / len(lengths)
+    if hw_config is not None:
+        # Name the custom design point by its digest so two different
+        # hw_configs sharing a session never collide in the report memo.
+        accelerator = session.add_backend(
+            AcceleratorVariant(
+                hw_config=hw_config, name=f"lightnobel-{hw_config.config_digest()}"
+            )
+        )
+        accelerator_name = accelerator.name
+    else:
+        accelerator_name = "lightnobel"
 
-    gpu_seconds: Dict[str, float] = {}
-    oom: Dict[str, bool] = {}
+    gpu_labels: Dict[str, str] = {}  # display label -> backend name
     for gpu_name in gpus:
-        model = GPUModel(gpu_name, ppm_config=config)
-        for chunked, label in ((True, f"{gpu_name} (chunk)"), (False, f"{gpu_name} (no chunk)")):
-            reports = [model.simulate(n, chunked=chunked) for n in lengths]
-            gpu_seconds[label] = sum(r.folding_block_seconds() for r in reports) / len(reports)
-            oom[label] = any(r.out_of_memory for r in reports)
+        gpu_labels[f"{gpu_name} (chunk)"] = f"{gpu_name.lower()}-chunk"
+        gpu_labels[f"{gpu_name} (no chunk)"] = gpu_name.lower()
+
+    batch = session.simulate_batch(
+        lengths, backends=[accelerator_name, *gpu_labels.values()]
+    )
+    lightnobel = batch.mean_folding_seconds(accelerator_name)
+    gpu_seconds = {
+        label: batch.mean_folding_seconds(name) for label, name in gpu_labels.items()
+    }
+    oom = {label: batch.any_out_of_memory(name) for label, name in gpu_labels.items()}
     return HardwareComparison(
         dataset=dataset,
         lightnobel_seconds=lightnobel,

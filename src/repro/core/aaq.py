@@ -19,6 +19,7 @@ from typing import Callable, Dict, Mapping, Optional
 
 import numpy as np
 
+from .._digest import config_digest as _config_digest
 from ..ppm.activation_tap import GROUP_A, GROUP_B, GROUP_C, GROUPS, TransformingContext
 from .token_quant import TokenQuantConfig, fake_quantize_tokens, packed_fake_quantize_tokens
 
@@ -69,6 +70,10 @@ class AAQConfig:
 
     def config_for(self, group: str) -> TokenQuantConfig:
         return self.group_configs[group]
+
+    def config_digest(self) -> str:
+        """Canonical hash of the per-group schemes (for digest-keyed caches)."""
+        return _config_digest(self)
 
     # -------------------------------------------------------------- accounting
     def bits_per_token(self, hidden_dim: int, group: str) -> float:

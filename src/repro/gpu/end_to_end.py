@@ -15,12 +15,15 @@ embedding; MEFold/PTQ4Protein add dequantization overhead to the trunk).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Optional, TYPE_CHECKING
 
 from ..ppm.config import PPMConfig
 from ..ppm.workload import PHASE_INPUT_EMBEDDING, PHASE_PAIR, PHASE_SEQUENCE, PHASE_STRUCTURE
 from ..hardware.accelerator import LightNobelAccelerator
 from .gpu_model import GPUModel
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from ..sim.session import SimulationSession
 
 
 @dataclass(frozen=True)
@@ -87,13 +90,31 @@ class EndToEndComparison:
         ppm_config: Optional[PPMConfig] = None,
         gpu: str = "H100",
         accelerator: Optional[LightNobelAccelerator] = None,
+        session: Optional["SimulationSession"] = None,
     ) -> None:
-        self.ppm_config = ppm_config or PPMConfig.paper()
-        self.gpu_model = GPUModel(gpu, ppm_config=self.ppm_config)
+        # Imported here, not at module top: repro.sim resolves backends via
+        # this package, so a module-level import would be circular.
+        from ..sim.backend import AcceleratorBackend
+        from ..sim.session import session_for
+
+        self.session = session_for(ppm_config, session)
+        self.ppm_config = self.session.ppm_config
+        self._gpu_backend = self.session.backend(gpu.lower())
+        self.gpu_model = self._gpu_backend.model
         self.accelerator = accelerator or LightNobelAccelerator(ppm_config=self.ppm_config)
+        # Registered under a digest-derived name so a custom accelerator in a
+        # shared session never hijacks the plain "lightnobel" binding.
+        wrapped = AcceleratorBackend(simulator=self.accelerator)
+        wrapped.name = f"lightnobel-{wrapped.config_digest()}"
+        self._accelerator_backend = self.session.add_backend(wrapped)
 
     def baseline_phases(self, sequence_length: int) -> Dict[str, float]:
-        report = self.gpu_model.simulate(sequence_length, chunked=False)
+        """ESMFold-on-GPU phase seconds, simulated once per (gpu, length).
+
+        Routed through the session memo, so :meth:`compare` evaluating eight
+        system profiles at one length costs one GPU simulation, not eight.
+        """
+        report = self.session.simulate(sequence_length, backend=self._gpu_backend.name)
         folding = report.phase_seconds.get(PHASE_PAIR, 0.0) + report.phase_seconds.get(PHASE_SEQUENCE, 0.0)
         return {
             "input_embedding": report.phase_seconds.get(PHASE_INPUT_EMBEDDING, 0.0),
@@ -106,7 +127,9 @@ class EndToEndComparison:
         phases = self.baseline_phases(sequence_length)
         folding = phases["folding"] * profile.folding_factor
         if system == "LightNobel":
-            folding = self.accelerator.folding_block_seconds(sequence_length)
+            folding = self.session.simulate(
+                sequence_length, backend=self._accelerator_backend.name
+            ).folding_block_seconds
         return EndToEndResult(
             system=system,
             sequence_length=sequence_length,

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
+from .._digest import config_digest as _config_digest
+
 
 @dataclass(frozen=True)
 class GPUSpec:
@@ -34,6 +36,10 @@ class GPUSpec:
     @property
     def effective_bandwidth(self) -> float:
         return self.hbm_bandwidth_gbps * 1e9 * self.bandwidth_efficiency
+
+    def config_digest(self) -> str:
+        """Canonical hash of every field, shared by the LRU and disk caches."""
+        return _config_digest(self)
 
 
 A100 = GPUSpec(

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from .._digest import config_digest as _config_digest
+
 
 @dataclass(frozen=True)
 class LightNobelConfig:
@@ -103,3 +105,7 @@ class LightNobelConfig:
         """Peak INT8-equivalent TOPS (2 ops per MAC, 8 units per INT8 MAC)."""
         macs_per_cycle = self.total_multiplier_units / 8.0
         return 2.0 * macs_per_cycle * self.cycles_per_second / 1e12
+
+    def config_digest(self) -> str:
+        """Canonical hash of every field, shared by the LRU and disk caches."""
+        return _config_digest(self)

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from .._digest import config_digest as _config_digest
+
 
 @dataclass(frozen=True)
 class PPMConfig:
@@ -100,3 +102,7 @@ class PPMConfig:
     def attention_dim(self) -> int:
         """Total width of the triangular attention projections."""
         return self.num_heads * self.head_dim
+
+    def config_digest(self) -> str:
+        """Canonical hash of every field, shared by the LRU and disk caches."""
+        return _config_digest(self)

@@ -1,0 +1,288 @@
+"""Simulation session: the single entry point for every latency number.
+
+A :class:`SimulationSession` owns, for one :class:`~repro.ppm.config.PPMConfig`:
+
+* the **workload/table cache** — each distinct sequence length builds its
+  :class:`~repro.ppm.op_table.OperatorTable` at most once per process (and,
+  with the disk cache enabled, at most once per machine),
+* the **backend set** — named :class:`~repro.sim.backend.LatencyBackend`
+  instances resolved from specs (``"lightnobel"``, ``"h100-chunk"``, a
+  :class:`~repro.hardware.config.LightNobelConfig`, ...),
+* the **report memo** — one :class:`~repro.sim.backend.SimReport` per
+  (backend, length) pair, memoized in memory and optionally persisted to the
+  version-stamped disk cache of :mod:`repro.sim.cache`.
+
+:meth:`SimulationSession.simulate_batch` amortizes one cached table per
+distinct length and evaluates all requested backends on it columnar-style —
+the loop the paper's Figs. 12–16 all run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .._digest import stable_digest
+from ..ppm.config import PPMConfig
+from ..ppm.op_table import OperatorTable, get_op_table
+from .backend import LatencyBackend, SimReport, create_backend
+from .cache import CACHE_DIR_ENV, DiskCache
+
+import os
+
+#: Backends a session resolves by default.
+DEFAULT_BACKENDS: Tuple[str, ...] = ("lightnobel", "h100")
+
+
+@dataclass
+class BatchResult:
+    """Result of one :meth:`SimulationSession.simulate_batch` call."""
+
+    lengths: List[int]
+    backends: List[str]
+    reports: Dict[Tuple[str, int], SimReport] = field(default_factory=dict)
+
+    def report(self, backend: str, sequence_length: int) -> SimReport:
+        return self.reports[(backend, int(sequence_length))]
+
+    def totals(self, backend: str) -> List[float]:
+        """Total seconds per input length (aligned with ``lengths``)."""
+        return [self.report(backend, n).total_seconds for n in self.lengths]
+
+    def folding_seconds(self, backend: str) -> List[float]:
+        return [self.report(backend, n).folding_block_seconds for n in self.lengths]
+
+    def mean_total_seconds(self, backend: str) -> float:
+        values = self.totals(backend)
+        return sum(values) / len(values) if values else 0.0
+
+    def mean_folding_seconds(self, backend: str) -> float:
+        values = self.folding_seconds(backend)
+        return sum(values) / len(values) if values else 0.0
+
+    def any_out_of_memory(self, backend: str) -> bool:
+        return any(self.report(backend, n).out_of_memory for n in self.lengths)
+
+
+def session_for(
+    ppm_config: Optional[PPMConfig],
+    session: Optional["SimulationSession"],
+    backends: Iterable = (),
+) -> "SimulationSession":
+    """Reconcile an optional caller-supplied session with a PPM config.
+
+    Figure entry points accept both; passing a session alongside a
+    *different* config would silently simulate the session's config, so the
+    mismatch raises instead.  With no session, a fresh one is built over
+    ``ppm_config`` (default: the paper configuration).
+    """
+    if session is not None:
+        if ppm_config is not None and ppm_config != session.ppm_config:
+            raise ValueError(
+                "ppm_config does not match session.ppm_config; pass one or the other"
+            )
+        return session
+    return SimulationSession(ppm_config=ppm_config or PPMConfig.paper(), backends=backends)
+
+
+class SimulationSession:
+    """Shared workload cache + backend registry + report memo.
+
+    ``cache_dir`` (or the ``REPRO_SIM_CACHE_DIR`` environment variable)
+    enables the on-disk cache; when neither is given the session is purely
+    in-memory.  ``use_disk_cache=False`` force-disables it either way.
+    """
+
+    def __init__(
+        self,
+        ppm_config: Optional[PPMConfig] = None,
+        backends: Iterable = DEFAULT_BACKENDS,
+        cache_dir: Optional[Path | str] = None,
+        use_disk_cache: Optional[bool] = None,
+        include_recycles: bool = False,
+    ) -> None:
+        self.ppm_config = ppm_config or PPMConfig.paper()
+        self.include_recycles = include_recycles
+        if use_disk_cache is None:
+            use_disk_cache = cache_dir is not None or bool(os.environ.get(CACHE_DIR_ENV))
+        self.cache: Optional[DiskCache] = DiskCache(cache_dir) if use_disk_cache else None
+        self._backends: Dict[str, LatencyBackend] = {}
+        self._tables: Dict[Tuple[int, bool], OperatorTable] = {}
+        self._reports: Dict[Tuple[str, int, bool], SimReport] = {}
+        self._backend_digests: Dict[str, str] = {}
+        self._spec_memo: Dict[object, LatencyBackend] = {}
+        for spec in backends:
+            self.add_backend(spec)
+
+    # ---------------------------------------------------------------- backends
+    def add_backend(self, spec, name: Optional[str] = None) -> LatencyBackend:
+        """Resolve ``spec`` and register it under ``name`` (default: its own).
+
+        Without an explicit ``name``, a default name already bound to a
+        *different* configuration is disambiguated with the config digest
+        (two ``LightNobelConfig`` specs in one batch must not collapse into
+        one registration), and a registration with an identical digest is
+        reused as-is.  An explicit ``name`` always (re)binds that name.
+        """
+        backend = create_backend(spec, self.ppm_config)
+        digest = backend.config_digest()
+        key = name or backend.name
+        if name is None:
+            existing = self._backend_digests.get(key)
+            if existing == digest:
+                return self._backends[key]
+            if existing is not None:
+                key = f"{backend.name}-{digest}"
+                backend.name = key
+        self._backends[key] = backend
+        self._backend_digests[key] = digest
+        return backend
+
+    def backend(self, spec) -> LatencyBackend:
+        """Look up a registered backend by name, or resolve-and-register it."""
+        if isinstance(spec, str):
+            if spec in self._backends:
+                return self._backends[spec]
+            if spec.lower() in self._backends:
+                return self._backends[spec.lower()]
+            return self.add_backend(spec.lower())
+        # Memoize hashable specs (frozen configs, backend instances) so a
+        # repeated non-string spec does not rebuild a simulator per call.
+        try:
+            cached = self._spec_memo.get(spec)
+            hashable = True
+        except TypeError:
+            cached, hashable = None, False
+        if cached is not None:
+            # Guard against displacement by a later explicit-name rebinding:
+            # only serve the memo while the instance is still registered.
+            if any(v is cached for v in self._backends.values()):
+                return cached
+        backend = self.add_backend(spec)
+        if hashable:
+            self._spec_memo[spec] = backend
+        return backend
+
+    def backend_names(self) -> Tuple[str, ...]:
+        return tuple(self._backends)
+
+    # ------------------------------------------------------------------ tables
+    def _table_key(self, sequence_length: int, include_recycles: bool) -> str:
+        digest = stable_digest(
+            "OperatorTable",
+            {
+                "ppm": self.ppm_config,
+                "n": int(sequence_length),
+                "include_recycles": bool(include_recycles),
+            },
+        )
+        return f"table-{digest}"
+
+    def table(
+        self, sequence_length: int, include_recycles: Optional[bool] = None
+    ) -> OperatorTable:
+        """The cached operator table for ``sequence_length``.
+
+        Resolution order: session memo, disk cache, then the process-wide LRU
+        builder of :func:`~repro.ppm.op_table.get_op_table` (whose result is
+        persisted to disk for the next process).
+        """
+        include = self.include_recycles if include_recycles is None else include_recycles
+        memo_key = (int(sequence_length), bool(include))
+        table = self._tables.get(memo_key)
+        if table is not None:
+            return table
+        if self.cache is not None:
+            disk_key = self._table_key(sequence_length, include)
+            table = self.cache.get(disk_key)
+            if table is None:
+                table = get_op_table(self.ppm_config, sequence_length, include_recycles=include)
+                self.cache.put(disk_key, table)
+        else:
+            table = get_op_table(self.ppm_config, sequence_length, include_recycles=include)
+        self._tables[memo_key] = table
+        return table
+
+    # -------------------------------------------------------------- simulation
+    def _report_key(self, backend_name: str, sequence_length: int, include: bool) -> str:
+        digest = stable_digest(
+            "SimReport",
+            {
+                "backend": self._backend_digests[backend_name],
+                "n": int(sequence_length),
+                "include_recycles": bool(include),
+            },
+        )
+        return f"report-{digest}"
+
+    def simulate(
+        self,
+        sequence_length: int,
+        backend="lightnobel",
+        include_recycles: Optional[bool] = None,
+    ) -> SimReport:
+        """Latency report of one backend at one sequence length (memoized)."""
+        resolved = self.backend(backend)
+        name = next(k for k, v in self._backends.items() if v is resolved)
+        include = self.include_recycles if include_recycles is None else include_recycles
+        # Keyed by the backend's config digest, not its name: re-registering a
+        # different config under an existing name must not serve stale reports.
+        memo_key = (self._backend_digests[name], int(sequence_length), bool(include))
+        report = self._reports.get(memo_key)
+        if report is not None:
+            return report
+        disk_key = None
+        if self.cache is not None:
+            disk_key = self._report_key(name, sequence_length, include)
+            report = self.cache.get(disk_key)
+        if report is None:
+            report = resolved.simulate_table(self.table(sequence_length, include))
+            if self.cache is not None and disk_key is not None:
+                self.cache.put(disk_key, report)
+        self._reports[memo_key] = report
+        return report
+
+    def simulate_batch(
+        self,
+        lengths: Iterable[int],
+        backends: Optional[Sequence] = None,
+        include_recycles: Optional[bool] = None,
+    ) -> BatchResult:
+        """Evaluate every backend on every length, one table per distinct length.
+
+        Distinct lengths are materialized (from memo, disk, or a fresh build)
+        exactly once, then every backend consumes the shared columnar table —
+        the batch-simulation API the ROADMAP's Fig. 14 dataset averages call
+        for.  Results for repeated lengths are served from the memo.
+        """
+        lengths = [int(n) for n in lengths]
+        specs = list(backends) if backends is not None else list(self._backends)
+        resolved_names: List[str] = []
+        for spec in specs:
+            resolved = self.backend(spec)
+            resolved_names.append(
+                next(k for k, v in self._backends.items() if v is resolved)
+            )
+        result = BatchResult(lengths=lengths, backends=resolved_names)
+        for n in dict.fromkeys(lengths):  # preserve order, dedupe
+            for name in resolved_names:
+                result.reports[(name, n)] = self.simulate(
+                    n, backend=name, include_recycles=include_recycles
+                )
+        return result
+
+    # -------------------------------------------------------------- accounting
+    def stats(self) -> Dict[str, object]:
+        """Cache/memoization statistics (for benchmarks and debugging)."""
+        return {
+            "tables_in_memory": len(self._tables),
+            "reports_in_memory": len(self._reports),
+            "backends": self.backend_names(),
+            "disk_cache": self.cache.stats() if self.cache is not None else None,
+        }
+
+    def clear_memo(self) -> None:
+        """Drop the in-memory memo (disk cache entries are kept)."""
+        self._tables.clear()
+        self._reports.clear()

@@ -1,0 +1,52 @@
+"""CI smoke entry: tiny ``simulate_batch`` + a 2-worker sharded ``sweep``.
+
+Run as ``PYTHONPATH=src python -m repro.sim.smoke``.  Exercises the
+process-pool sweep path (and its serial fallback) plus the session batch API
+on a tiny configuration so every push covers the multiprocessing code, and
+asserts pool ≡ serial parity before exiting 0.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+
+from ..hardware.config import LightNobelConfig
+from ..ppm.config import PPMConfig
+from .session import SimulationSession
+from .sweep import SweepPoint, sweep
+
+
+def main() -> int:
+    config = PPMConfig.tiny()
+    lengths = (24, 48)
+
+    with tempfile.TemporaryDirectory(prefix="repro-sim-smoke-") as cache_dir:
+        session = SimulationSession(ppm_config=config, cache_dir=cache_dir)
+        batch = session.simulate_batch(lengths, backends=["lightnobel", "h100", "h100-chunk"])
+        for name in batch.backends:
+            totals = ", ".join(f"{t * 1e3:.3f} ms" for t in batch.totals(name))
+            print(f"simulate_batch[{name}]: {totals}")
+        print(f"session stats: {session.stats()}")
+
+    points = [
+        SweepPoint(LightNobelConfig(num_rmpus=rmpus), n)
+        for rmpus in (8, 32)
+        for n in lengths
+    ]
+    sharded = sweep(points, ppm_config=config, workers=2)
+    serial = sweep(points, ppm_config=config, workers=None)
+    for point, fast, slow in zip(points, sharded, serial):
+        print(
+            f"sweep[rmpus={point.backend.num_rmpus}, n={point.sequence_length}]: "
+            f"{fast.total_seconds * 1e3:.3f} ms"
+        )
+        if fast.total_seconds != slow.total_seconds:
+            print("FAIL: sharded sweep diverged from serial sweep", file=sys.stderr)
+            return 1
+    print("smoke ok: batch + sharded sweep (2 workers) + disk cache")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

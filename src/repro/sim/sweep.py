@@ -1,0 +1,145 @@
+"""Sharded design-space sweeps over (backend spec, sequence length) points.
+
+The Fig. 11/12 DSE loops evaluate hundreds of independent (config, length)
+points.  Since PR 1 the columnar engine made each point cheap enough that
+Python-level fan-out overhead dominates, so :func:`sweep` shards points
+across a ``concurrent.futures`` process pool — falling back to a serial loop
+whenever a pool is unavailable (restricted environments, pickling failures)
+or not asked for (``workers=None``).  Both paths evaluate the identical
+per-point function, so pool and serial results match exactly.
+
+A point's backend spec is anything :func:`repro.sim.backend.create_backend`
+accepts *and* pickles cleanly: a registered name, a frozen config dataclass,
+or an :class:`~repro.sim.backend.AcceleratorVariant`/:class:`~repro.sim.backend.GPUVariant`.
+Workers rebuild the backend from the spec, so no simulator state crosses the
+process boundary; each worker's process-wide LRU table cache (and, when
+``REPRO_SIM_CACHE_DIR`` is set, the shared disk cache) amortizes the graph
+builds within its shard.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from ..ppm.config import PPMConfig
+from .backend import SimReport, create_backend
+from .session import SimulationSession
+
+#: Environment variable supplying a default worker count for :func:`sweep`.
+WORKERS_ENV = "REPRO_SIM_WORKERS"
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independent simulation point of a design-space sweep.
+
+    Results come back aligned with the input point order, so callers label
+    points by position (or by the spec itself).
+    """
+
+    backend: Any
+    sequence_length: int
+
+
+PointLike = Union[SweepPoint, Tuple[Any, int]]
+
+
+def _as_point(point: PointLike) -> SweepPoint:
+    if isinstance(point, SweepPoint):
+        return point
+    spec, length = point
+    return SweepPoint(backend=spec, sequence_length=int(length))
+
+
+#: Per-process table sessions, one per (PPM config, recycles) pair; these give
+#: pool workers the disk-cache path (``REPRO_SIM_CACHE_DIR``) automatically.
+#: Bounded FIFO so a long-lived parent process sweeping many configs does not
+#: pin tables forever (the op_table LRU already covers in-process reuse).
+_WORKER_SESSIONS: Dict[Tuple[str, bool], SimulationSession] = {}
+_WORKER_SESSION_LIMIT = 8
+
+
+def _worker_session(ppm_config: PPMConfig, include_recycles: bool) -> SimulationSession:
+    key = (ppm_config.config_digest(), include_recycles)
+    session = _WORKER_SESSIONS.get(key)
+    if session is None:
+        while len(_WORKER_SESSIONS) >= _WORKER_SESSION_LIMIT:
+            _WORKER_SESSIONS.pop(next(iter(_WORKER_SESSIONS)))
+        session = SimulationSession(
+            ppm_config=ppm_config, backends=(), include_recycles=include_recycles
+        )
+        _WORKER_SESSIONS[key] = session
+    return session
+
+
+def _simulate_point(args: Tuple[Optional[PPMConfig], bool, Any, int]) -> SimReport:
+    """Evaluate one sweep point (runs in the parent or in a pool worker)."""
+    ppm_config, include_recycles, spec, sequence_length = args
+    backend = create_backend(spec, ppm_config)
+    session = _worker_session(backend.ppm_config, include_recycles)
+    return backend.simulate_table(session.table(sequence_length))
+
+
+def resolve_workers(workers: Optional[int]) -> Optional[int]:
+    """Effective worker count: the argument, else ``$REPRO_SIM_WORKERS``."""
+    if workers is not None:
+        return workers
+    env = os.environ.get(WORKERS_ENV)
+    if env:
+        try:
+            return int(env)
+        except ValueError:
+            return None
+    return None
+
+
+def sweep(
+    points: Iterable[PointLike],
+    ppm_config: Optional[PPMConfig] = None,
+    workers: Optional[int] = None,
+    include_recycles: bool = False,
+    chunksize: Optional[int] = None,
+) -> List[SimReport]:
+    """Simulate every point; returns reports aligned with the input order.
+
+    ``workers`` > 1 shards the points across a process pool; ``None``/0/1 (the
+    default, or whatever ``$REPRO_SIM_WORKERS`` says) runs serially.  Any
+    failure to stand up or use the pool — sandboxed environments without
+    ``fork``/semaphores, unpicklable specs — degrades to the serial loop, so
+    callers never have to care which path ran.
+    """
+    normalized = [_as_point(p) for p in points]
+    payloads = [
+        (ppm_config, bool(include_recycles), p.backend, int(p.sequence_length))
+        for p in normalized
+    ]
+    workers = resolve_workers(workers)
+    if workers is not None and workers > 1 and len(payloads) > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                if chunksize is None:
+                    chunksize = max(1, len(payloads) // (workers * 4))
+                return list(pool.map(_simulate_point, payloads, chunksize=chunksize))
+        except (
+            BrokenProcessPool,
+            pickle.PicklingError,
+            TypeError,
+            AttributeError,
+            OSError,
+            ImportError,
+            NotImplementedError,
+        ):
+            # Pool-infrastructure failures (no fork/semaphores in the
+            # environment, crashed workers) and spec-pickling failures —
+            # which pickle surfaces as PicklingError, TypeError or
+            # AttributeError depending on the object — degrade to the serial
+            # loop.  A genuine simulation error of one of these types is
+            # re-raised by the serial pass; other error types propagate from
+            # the pool unchanged.
+            pass
+    return [_simulate_point(payload) for payload in payloads]

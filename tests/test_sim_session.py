@@ -1,0 +1,342 @@
+"""Unified simulation layer: backend parity, batching, disk cache, sweeps."""
+
+import pickle
+
+import pytest
+
+from repro.gpu import EndToEndComparison, GPUModel
+from repro.hardware import LightNobelAccelerator, LightNobelConfig
+from repro.ppm import PPMConfig
+from repro.sim import (
+    AcceleratorVariant,
+    CACHE_SCHEMA_VERSION,
+    DiskCache,
+    GPUVariant,
+    SimulationSession,
+    SweepPoint,
+    available_backends,
+    create_backend,
+    sweep,
+)
+
+LENGTHS = (24, 40)
+
+
+@pytest.fixture()
+def config() -> PPMConfig:
+    return PPMConfig.tiny()
+
+
+def relative_difference(a: float, b: float) -> float:
+    return abs(a - b) / max(abs(b), 1e-300)
+
+
+class TestBackendParity:
+    def test_accelerator_backend_matches_direct_simulate(self, config):
+        session = SimulationSession(ppm_config=config)
+        direct = LightNobelAccelerator(ppm_config=config)
+        for n in LENGTHS:
+            report = session.simulate(n, backend="lightnobel")
+            reference = direct.simulate(n)
+            assert relative_difference(report.total_seconds, reference.total_seconds) <= 1e-9
+            clock = direct.hw_config.cycles_per_second
+            for phase, cycles in reference.phase_cycles.items():
+                assert relative_difference(report.phase_seconds[phase], cycles / clock) <= 1e-9
+
+    @pytest.mark.parametrize("gpu,chunked", [("H100", False), ("H100", True), ("A100", False)])
+    def test_gpu_backend_matches_direct_simulate(self, config, gpu, chunked):
+        session = SimulationSession(ppm_config=config)
+        direct = GPUModel(gpu, ppm_config=config)
+        name = gpu.lower() + ("-chunk" if chunked else "")
+        for n in LENGTHS:
+            report = session.simulate(n, backend=name)
+            reference = direct.simulate(n, chunked=chunked)
+            assert relative_difference(report.total_seconds, reference.total_seconds) <= 1e-9
+            assert report.phase_seconds == reference.phase_seconds
+            assert report.out_of_memory == reference.out_of_memory
+
+    def test_folding_seconds_match_accelerator_helper(self, config):
+        session = SimulationSession(ppm_config=config)
+        direct = LightNobelAccelerator(ppm_config=config)
+        for n in LENGTHS:
+            report = session.simulate(n, backend="lightnobel")
+            assert (
+                relative_difference(
+                    report.folding_block_seconds, direct.folding_block_seconds(n)
+                )
+                <= 1e-9
+            )
+
+    def test_registry_and_spec_resolution(self, config):
+        for name in ("lightnobel", "a100", "h100", "a100-chunk", "h100-chunk"):
+            assert name in available_backends()
+        custom = create_backend(LightNobelConfig(num_rmpus=8), config)
+        assert custom.simulate(LENGTHS[0]).total_seconds > 0
+        variant = create_backend(GPUVariant(gpu="A100", chunked=True), config)
+        assert variant.name == "a100-chunk"
+        with pytest.raises(ValueError):
+            create_backend("not-a-backend", config)
+
+
+class TestSimulateBatch:
+    def test_batch_matches_per_length_loop(self, config):
+        backends = ["lightnobel", "h100", "h100-chunk"]
+        batch = SimulationSession(ppm_config=config).simulate_batch(LENGTHS, backends=backends)
+        loop_session = SimulationSession(ppm_config=config)
+        for name in backends:
+            loop = [loop_session.simulate(n, backend=name).total_seconds for n in LENGTHS]
+            assert batch.totals(name) == loop
+
+    def test_batch_dedupes_lengths_and_memoizes(self, config):
+        session = SimulationSession(ppm_config=config)
+        lengths = [LENGTHS[0], LENGTHS[0], LENGTHS[1]]
+        batch = session.simulate_batch(lengths, backends=["lightnobel"])
+        assert len(batch.totals("lightnobel")) == 3
+        assert batch.totals("lightnobel")[0] == batch.totals("lightnobel")[1]
+        stats = session.stats()
+        assert stats["tables_in_memory"] == 2
+        assert stats["reports_in_memory"] == 2
+
+    def test_batch_distinct_specs_with_same_default_name(self, config):
+        # Regression: two hardware configs in one batch must not collapse
+        # into a single "lightnobel" registration.
+        session = SimulationSession(ppm_config=config)
+        small = LightNobelConfig(num_rmpus=1)
+        large = LightNobelConfig(num_rmpus=64)
+        batch = session.simulate_batch([LENGTHS[1]], backends=[small, large])
+        assert len(set(batch.backends)) == 2
+        totals = [batch.reports[(name, LENGTHS[1])].total_seconds for name in batch.backends]
+        direct = [
+            LightNobelAccelerator(hw_config=hw, ppm_config=config)
+            .simulate(LENGTHS[1])
+            .total_seconds
+            for hw in (small, large)
+        ]
+        for got, want in zip(totals, direct):
+            assert relative_difference(got, want) <= 1e-9
+
+    def test_displaced_memoized_spec_is_reregistered(self, config):
+        # Regression: a spec-memoized backend displaced by an explicit-name
+        # rebinding must be re-registered, not crash with StopIteration.
+        session = SimulationSession(ppm_config=config)
+        spec = LightNobelConfig(num_rmpus=8)
+        session.backend(spec)  # memoized, registered under "lightnobel"
+        session.add_backend(LightNobelConfig(num_rmpus=64), name="lightnobel")  # displace
+        report = session.simulate(LENGTHS[0], backend=spec)
+        direct = LightNobelAccelerator(hw_config=spec, ppm_config=config).simulate(LENGTHS[0])
+        assert relative_difference(report.total_seconds, direct.total_seconds) <= 1e-9
+
+    def test_batch_helpers(self, config):
+        session = SimulationSession(ppm_config=config)
+        batch = session.simulate_batch(LENGTHS, backends=["lightnobel", "h100"])
+        totals = batch.totals("h100")
+        assert batch.mean_total_seconds("h100") == pytest.approx(sum(totals) / len(totals))
+        assert 0 < batch.mean_folding_seconds("lightnobel") < batch.mean_total_seconds("lightnobel")
+        assert batch.any_out_of_memory("h100") in (False, True)
+
+
+class TestDiskCache:
+    def test_cold_then_warm_roundtrip(self, config, tmp_path):
+        cold = SimulationSession(ppm_config=config, cache_dir=tmp_path)
+        cold_batch = cold.simulate_batch(LENGTHS, backends=["lightnobel", "h100"])
+        assert cold.cache.writes > 0
+        assert cold.cache.hits == 0
+
+        warm = SimulationSession(ppm_config=config, cache_dir=tmp_path)
+        warm_batch = warm.simulate_batch(LENGTHS, backends=["lightnobel", "h100"])
+        assert warm.cache.hits > 0
+        assert warm.cache.writes == 0
+        for name in ("lightnobel", "h100"):
+            assert warm_batch.totals(name) == cold_batch.totals(name)
+
+    def test_no_disk_cache_by_default(self, config, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_CACHE_DIR", raising=False)
+        session = SimulationSession(ppm_config=config)
+        assert session.cache is None
+
+    def test_env_var_enables_cache(self, config, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_CACHE_DIR", str(tmp_path))
+        session = SimulationSession(ppm_config=config)
+        session.simulate(LENGTHS[0])
+        assert session.cache is not None
+        assert list(tmp_path.glob("*.pkl"))
+
+    def test_corrupt_entry_invalidates_and_recomputes(self, config, tmp_path):
+        first = SimulationSession(ppm_config=config, cache_dir=tmp_path)
+        expected = first.simulate(LENGTHS[0]).total_seconds
+        for path in tmp_path.glob("*.pkl"):
+            path.write_bytes(b"not a pickle")
+        second = SimulationSession(ppm_config=config, cache_dir=tmp_path)
+        assert second.simulate(LENGTHS[0]).total_seconds == expected
+        assert second.cache.invalidations > 0
+        assert second.cache.hits == 0
+
+    def test_package_version_mismatch_invalidates(self, config, tmp_path):
+        first = SimulationSession(ppm_config=config, cache_dir=tmp_path)
+        expected = first.simulate(LENGTHS[0]).total_seconds
+        for path in tmp_path.glob("*.pkl"):
+            envelope = pickle.loads(path.read_bytes())
+            envelope["repro_version"] = "0.0.0-stale"
+            path.write_bytes(pickle.dumps(envelope))
+        second = SimulationSession(ppm_config=config, cache_dir=tmp_path)
+        assert second.simulate(LENGTHS[0]).total_seconds == expected
+        assert second.cache.invalidations > 0
+
+    def test_version_mismatch_invalidates(self, config, tmp_path):
+        first = SimulationSession(ppm_config=config, cache_dir=tmp_path)
+        expected = first.simulate(LENGTHS[0]).total_seconds
+        for path in tmp_path.glob("*.pkl"):
+            envelope = pickle.loads(path.read_bytes())
+            envelope["version"] = CACHE_SCHEMA_VERSION + 1
+            path.write_bytes(pickle.dumps(envelope))
+        second = SimulationSession(ppm_config=config, cache_dir=tmp_path)
+        assert second.simulate(LENGTHS[0]).total_seconds == expected
+        assert second.cache.invalidations > 0
+
+    def test_key_mismatch_invalidates(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put("key-a", {"x": 1})
+        cache.path_for("key-a").rename(cache.path_for("key-b"))
+        assert cache.get("key-b") is None
+        assert cache.invalidations == 1
+
+    def test_clear_removes_entries(self, config, tmp_path):
+        session = SimulationSession(ppm_config=config, cache_dir=tmp_path)
+        session.simulate(LENGTHS[0])
+        removed = session.cache.clear()
+        assert removed > 0
+        assert not list(tmp_path.glob("*.pkl"))
+
+    def test_different_config_different_keys(self, tmp_path):
+        a = SimulationSession(ppm_config=PPMConfig.tiny(), cache_dir=tmp_path)
+        a.simulate(LENGTHS[0])
+        entries = set(tmp_path.glob("*.pkl"))
+        b = SimulationSession(ppm_config=PPMConfig.small(), cache_dir=tmp_path)
+        b.simulate(LENGTHS[0])
+        assert set(tmp_path.glob("*.pkl")) > entries
+        assert b.cache.hits == 0
+
+
+class TestSweep:
+    def points(self):
+        return [
+            SweepPoint(LightNobelConfig(num_rmpus=rmpus), n)
+            for rmpus in (8, 32)
+            for n in LENGTHS
+        ] + [SweepPoint(GPUVariant(gpu="H100", chunked=True), LENGTHS[0])]
+
+    def test_serial_matches_session(self, config):
+        reports = sweep(self.points(), ppm_config=config, workers=None)
+        assert len(reports) == 5
+        direct = LightNobelAccelerator(
+            hw_config=LightNobelConfig(num_rmpus=8), ppm_config=config
+        ).simulate(LENGTHS[0])
+        assert relative_difference(reports[0].total_seconds, direct.total_seconds) <= 1e-9
+
+    def test_process_pool_matches_serial(self, config):
+        serial = sweep(self.points(), ppm_config=config, workers=None)
+        sharded = sweep(self.points(), ppm_config=config, workers=2)
+        assert [r.total_seconds for r in sharded] == [r.total_seconds for r in serial]
+        assert [r.backend for r in sharded] == [r.backend for r in serial]
+
+    def test_tuple_points_accepted(self, config):
+        reports = sweep([("lightnobel", LENGTHS[0])], ppm_config=config)
+        assert reports[0].backend == "lightnobel"
+
+    def test_unpicklable_spec_falls_back_to_serial(self, config):
+        import threading
+
+        backend = create_backend("lightnobel", config)
+        backend.unpicklable = threading.Lock()  # poisons pool submission
+        points = [SweepPoint(backend, n) for n in LENGTHS]
+        reports = sweep(points, ppm_config=config, workers=2)
+        serial = sweep([SweepPoint("lightnobel", n) for n in LENGTHS], ppm_config=config)
+        assert [r.total_seconds for r in reports] == [r.total_seconds for r in serial]
+
+    def test_workers_env_default(self, config, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_WORKERS", "2")
+        serial = sweep(self.points()[:2], ppm_config=config, workers=1)
+        env_pooled = sweep(self.points()[:2], ppm_config=config)
+        assert [r.total_seconds for r in env_pooled] == [r.total_seconds for r in serial]
+
+    def test_hardware_dse_pool_equals_serial(self, config):
+        from repro.analysis import hardware_dse
+
+        kwargs = dict(
+            sequence_lengths=[LENGTHS[0]],
+            rmpu_counts=(8, 32),
+            vvpu_counts=(2, 4),
+            config=config,
+        )
+        serial = hardware_dse(workers=None, **kwargs)
+        sharded = hardware_dse(workers=2, **kwargs)
+        for key in ("vvpu_sweep", "rmpu_sweep"):
+            assert [p.average_latency_seconds for p in sharded[key]] == [
+                p.average_latency_seconds for p in serial[key]
+            ]
+
+
+class TestEndToEndCaching:
+    def test_baseline_phases_simulated_once_per_gpu_length(self, config, monkeypatch):
+        calls = {"n": 0}
+        original = GPUModel.simulate_table
+
+        def counting(self, table, chunked=False):
+            calls["n"] += 1
+            return original(self, table, chunked=chunked)
+
+        monkeypatch.setattr(GPUModel, "simulate_table", counting)
+        comparison = EndToEndComparison(ppm_config=config)
+        comparison.compare([LENGTHS[0], LENGTHS[1]])
+        # Eight system profiles x two lengths, but only one GPU simulation
+        # per (gpu, length) pair thanks to the session memo.
+        assert calls["n"] == len(LENGTHS)
+
+    def test_rebinding_a_name_does_not_serve_stale_reports(self, config):
+        # Regression: the report memo is keyed by config digest, so replacing
+        # a registered name with a different hardware config must recompute.
+        session = SimulationSession(ppm_config=config)
+        default = session.simulate(LENGTHS[0], backend="lightnobel").total_seconds
+        rebound = session.simulate(
+            LENGTHS[0], backend=LightNobelConfig(num_rmpus=1)
+        ).total_seconds
+        direct = LightNobelAccelerator(
+            hw_config=LightNobelConfig(num_rmpus=1), ppm_config=config
+        ).simulate(LENGTHS[0])
+        assert relative_difference(rebound, direct.total_seconds) <= 1e-9
+        assert rebound != default
+
+    def test_custom_accelerator_does_not_hijack_lightnobel_name(self, config):
+        session = SimulationSession(ppm_config=config)
+        default = session.simulate(LENGTHS[0], backend="lightnobel").total_seconds
+        custom = LightNobelAccelerator(
+            hw_config=LightNobelConfig(num_rmpus=1), ppm_config=config
+        )
+        EndToEndComparison(session=session, accelerator=custom).compare([LENGTHS[0]])
+        assert session.simulate(LENGTHS[0], backend="lightnobel").total_seconds == default
+
+    def test_session_config_mismatch_raises(self, config):
+        from repro.analysis import latency_breakdown
+
+        session = SimulationSession(ppm_config=config)
+        with pytest.raises(ValueError):
+            EndToEndComparison(ppm_config=PPMConfig.small(), session=session)
+        with pytest.raises(ValueError):
+            latency_breakdown(LENGTHS[0], config=PPMConfig.small(), session=session)
+
+    def test_repeated_spec_reuses_backend_instance(self, config):
+        session = SimulationSession(ppm_config=config)
+        spec = LightNobelConfig(num_rmpus=8)
+        assert session.backend(spec) is session.backend(spec)
+
+    def test_accelerator_variant_memo_isolation(self, config):
+        session = SimulationSession(ppm_config=config)
+        fast = session.add_backend(
+            AcceleratorVariant(hw_config=LightNobelConfig(num_rmpus=64), name="ln-64")
+        )
+        slow = session.add_backend(
+            AcceleratorVariant(hw_config=LightNobelConfig(num_rmpus=1), name="ln-1")
+        )
+        fast_report = session.simulate(LENGTHS[1], backend=fast.name)
+        slow_report = session.simulate(LENGTHS[1], backend=slow.name)
+        assert fast_report.total_seconds < slow_report.total_seconds
