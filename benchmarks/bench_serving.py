@@ -1,0 +1,126 @@
+"""Perf: sustained serving throughput of `LatencyService`, cold vs warm.
+
+Drives a paper-config service with a multi-tenant-shaped request stream —
+many requests over a small set of distinct (backend, length) keys, the
+profile a shared latency service sees when several figure sweeps and users
+query the same design points — and measures sustained queries/sec in three
+regimes:
+
+* **cold** — empty memo, fresh disk cache: every unique key pays one real
+  simulation; duplicates ride along via coalescing,
+* **warm (same process)** — the service's session memo answers everything,
+* **warm (fresh process)** — a new service over the same disk cache
+  (`REPRO_SIM_CACHE_DIR` regime): tables/reports come off disk, no simulator
+  runs.
+
+Asserts the coalescing invariant (simulations == unique keys on the cold
+round), cold-to-warm speedup, and exact parity with a direct
+`SimulationSession`.
+"""
+
+import tempfile
+import time
+
+from conftest import print_table
+
+from repro.serving import LatencyRequest, LatencyService
+from repro.sim import SimulationSession
+
+SEQUENCE_LENGTHS = (200, 400, 800)
+BACKENDS = ("lightnobel", "h100", "h100-chunk")
+
+#: Requests per unique (backend, length) key — the multi-tenant duplication
+#: factor.  9 unique keys x 8 = 72 requests per round.
+DUPLICATION = 8
+
+
+def request_stream():
+    unique = [
+        LatencyRequest(backend=backend, sequence_length=n)
+        for backend in BACKENDS
+        for n in SEQUENCE_LENGTHS
+    ]
+    # Interleave duplicates (tenant-by-tenant, not key-by-key) so coalescing
+    # has to catch duplicates across the whole queue, not just neighbours.
+    return unique * DUPLICATION, len(unique)
+
+
+def run_round(service):
+    requests, unique = request_stream()
+    start = time.perf_counter()
+    reports = service.query_batch(requests, timeout=600.0)
+    elapsed = time.perf_counter() - start
+    return reports, len(requests) / elapsed, unique
+
+
+def test_serving_throughput_cold_vs_warm(paper_config):
+    with tempfile.TemporaryDirectory(prefix="repro-serving-bench-") as cache_dir:
+        service = LatencyService(ppm_config=paper_config, cache_dir=cache_dir)
+        with service:
+            cold_reports, cold_qps, unique = run_round(service)
+            cold_stats = service.capacity_report()
+
+            warm_reports, warm_qps, _ = run_round(service)
+            warm_stats = service.capacity_report()
+
+        # Fresh process over the same disk cache: no simulator, tables and
+        # reports come off disk.
+        with LatencyService(ppm_config=paper_config, cache_dir=cache_dir) as fresh:
+            fresh_reports, fresh_qps, _ = run_round(fresh)
+            assert fresh.stats.simulations == 0
+
+        print_table(
+            "Serving throughput: LatencyService, cold vs warm",
+            [
+                ("regime", "requests", "q/s sustained", "simulations"),
+                (
+                    "cold (empty memo + disk cache)",
+                    len(cold_reports),
+                    f"{cold_qps:9.0f}",
+                    cold_stats.simulations,
+                ),
+                (
+                    "warm, same process (memo)",
+                    len(warm_reports),
+                    f"{warm_qps:9.0f}",
+                    warm_stats.simulations - cold_stats.simulations,
+                ),
+                (
+                    "warm, fresh process (disk cache)",
+                    len(fresh_reports),
+                    f"{fresh_qps:9.0f}",
+                    0,
+                ),
+            ],
+        )
+        print(
+            f"  cold round: hit_rate={cold_stats.hit_rate:.2f}, "
+            f"peak queue depth={cold_stats.peak_queue_depth}, "
+            f"p99[lightnobel]="
+            + ", ".join(
+                f"{row.p99_seconds * 1e3:.1f} ms"
+                for row in cold_stats.backends
+                if row.backend == "lightnobel"
+            )
+        )
+
+        # Coalescing invariant: the cold round simulates each unique
+        # (backend, length) key exactly once, duplicates ride along free.
+        assert cold_stats.simulations == unique
+        # The warm rounds never touch a simulator again.
+        assert warm_stats.simulations == cold_stats.simulations
+
+        # Exact parity with the direct session path on every response.
+        session = SimulationSession(ppm_config=paper_config, use_disk_cache=False)
+        requests, _ = request_stream()
+        for request, report in zip(requests, cold_reports):
+            direct = session.simulate(request.sequence_length, backend=request.backend)
+            assert report.total_seconds == direct.total_seconds
+        for fast, slow in zip(warm_reports, cold_reports):
+            assert fast.total_seconds == slow.total_seconds
+        for fast, slow in zip(fresh_reports, cold_reports):
+            assert fast.total_seconds == slow.total_seconds
+
+        # Warm regimes must beat the cold regime on sustained throughput.
+        assert warm_qps >= cold_qps
+        assert fresh_qps >= cold_qps

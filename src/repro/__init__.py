@@ -22,6 +22,10 @@ Sub-packages
     :class:`~repro.sim.session.SimulationSession` (batch API, backend
     registry, process-pool ``sweep()``, on-disk table/report cache keyed by
     stable config digests — see the :mod:`repro.sim` docstring for usage).
+``repro.serving``
+    Latency/capacity query service over ``repro.sim``: request queue,
+    coalescing of duplicate in-flight queries, worker-pool execution and
+    service-level stats (see the :mod:`repro.serving` docstring for usage).
 ``repro.analysis``
     Cost models, activation statistics and design-space exploration.
 """

@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # service routing is optional; avoid an import at runtime
+    from ..serving.service import LatencyService
 
 from ..core.aaq import AAQConfig
 from ..core.token_quant import TokenQuantConfig, token_quantization_rmse
@@ -168,15 +171,21 @@ def hardware_dse(
     fixed_rmpus: int = 32,
     config: Optional[PPMConfig] = None,
     workers: Optional[int] = None,
+    service: Optional["LatencyService"] = None,
 ) -> Dict[str, List[HardwareDSEPoint]]:
     """Fig. 12: latency versus #VVPUs/RMPU (a) and versus #RMPUs (b).
 
     Every (hardware config, length) point is independent, so the whole grid is
     submitted to :func:`repro.sim.sweep` as one flat point list; ``workers``
     > 1 shards it across a process pool (serial otherwise, identical numbers
-    either way).
+    either way).  With ``service=`` the grid is submitted through a shared
+    :class:`~repro.serving.service.LatencyService` instead — the service's
+    own worker pool (and coalescing with concurrent tenants) then applies,
+    and ``workers`` is ignored.
     """
     config = config or PPMConfig.paper()
+    if service is not None and service.session.ppm_config != config:
+        raise ValueError("config does not match service.session.ppm_config")
     lengths = list(sequence_lengths)
 
     vvpu_configs = [
@@ -188,7 +197,12 @@ def hardware_dse(
     ]
     grid = vvpu_configs + rmpu_configs
     points = [SweepPoint(hw, n) for hw in grid for n in lengths]
-    reports = sweep(points, ppm_config=config, workers=workers)
+    if service is not None:
+        reports = service.query_batch(
+            [(p.backend, p.sequence_length) for p in points]
+        )
+    else:
+        reports = sweep(points, ppm_config=config, workers=workers)
 
     def average_latency(config_index: int) -> float:
         start = config_index * len(lengths)

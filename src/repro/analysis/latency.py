@@ -9,7 +9,7 @@ one dataset sweep never simulates the same point twice.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Optional, TYPE_CHECKING
 
 from ..hardware.config import LightNobelConfig
 from ..ppm.config import PPMConfig
@@ -18,7 +18,10 @@ from ..ppm.workload import (
     PHASE_SEQUENCE,
     SUBPHASE_TRI_ATT,
 )
-from ..sim import AcceleratorVariant, SimulationSession, session_for
+from ..sim import AcceleratorVariant, BatchResult, SimulationSession, session_for
+
+if TYPE_CHECKING:  # service routing is optional; avoid an import at runtime
+    from ..serving.service import LatencyService
 
 
 @dataclass
@@ -47,10 +50,22 @@ def latency_breakdown(
     gpu: str = "H100",
     config: Optional[PPMConfig] = None,
     session: Optional[SimulationSession] = None,
+    service: Optional["LatencyService"] = None,
 ) -> LatencyBreakdown:
-    """End-to-end GPU latency breakdown for one protein (Fig. 3 methodology)."""
-    session = session_for(config, session)
-    report = session.simulate(sequence_length, backend=gpu.lower())
+    """End-to-end GPU latency breakdown for one protein (Fig. 3 methodology).
+
+    With ``service=`` the report is fetched through a shared
+    :class:`~repro.serving.service.LatencyService` (coalescing with any other
+    concurrent caller) instead of the session's direct path.
+    """
+    if service is not None:
+        if session is not None and session is not service.session:
+            raise ValueError("pass either session or service, not both")
+        session_for(config, service.session)  # validates config match
+        report = service.query(gpu.lower(), sequence_length)
+    else:
+        session = session_for(config, session)
+        report = session.simulate(sequence_length, backend=gpu.lower())
     total = report.total_seconds or 1.0
     phase_fractions = {phase: seconds / total for phase, seconds in report.phase_seconds.items()}
     subphase_fractions = {sub: seconds / total for sub, seconds in report.subphase_seconds.items()}
@@ -88,6 +103,7 @@ def compare_hardware_on_lengths(
     exclude_oom: bool = False,
     only_oom_without_chunk: bool = False,
     session: Optional[SimulationSession] = None,
+    service: Optional["LatencyService"] = None,
 ) -> HardwareComparison:
     """Average folding-block latency over a dataset's sequence lengths.
 
@@ -95,14 +111,23 @@ def compare_hardware_on_lengths(
     chunk option (the Fig. 14c protocol); ``only_oom_without_chunk`` keeps only
     those proteins (the Fig. 14d protocol).  All latencies come from one
     :class:`~repro.sim.session.SimulationSession` batch, so each distinct
-    length builds its operator table exactly once for all backends.
+    length builds its operator table exactly once for all backends — or, with
+    ``service=``, from one shared :class:`~repro.serving.service.LatencyService`
+    batch (same numbers, coalesced with concurrent callers).
     """
-    session = session_for(config, session)
+    if service is not None:
+        if session is not None and session is not service.session:
+            raise ValueError("pass either session or service, not both")
+        session = session_for(config, service.session)
+    else:
+        session = session_for(config, session)
     lengths = [int(n) for n in sequence_lengths]
     if not lengths:
         raise ValueError("sequence_lengths must be non-empty")
 
-    reference_gpu = session.backend("h100")
+    reference_gpu = (
+        service.register_backend("h100") if service is not None else session.backend("h100")
+    )
     if exclude_oom:
         lengths = [n for n in lengths if reference_gpu.model.fits_in_memory(n, chunked=False)]
     if only_oom_without_chunk:
@@ -113,10 +138,13 @@ def compare_hardware_on_lengths(
     if hw_config is not None:
         # Name the custom design point by its digest so two different
         # hw_configs sharing a session never collide in the report memo.
-        accelerator = session.add_backend(
-            AcceleratorVariant(
-                hw_config=hw_config, name=f"lightnobel-{hw_config.config_digest()}"
-            )
+        variant = AcceleratorVariant(
+            hw_config=hw_config, name=f"lightnobel-{hw_config.config_digest()}"
+        )
+        accelerator = (
+            service.register_backend(variant)
+            if service is not None
+            else session.add_backend(variant)
         )
         accelerator_name = accelerator.name
     else:
@@ -127,9 +155,15 @@ def compare_hardware_on_lengths(
         gpu_labels[f"{gpu_name} (chunk)"] = f"{gpu_name.lower()}-chunk"
         gpu_labels[f"{gpu_name} (no chunk)"] = gpu_name.lower()
 
-    batch = session.simulate_batch(
-        lengths, backends=[accelerator_name, *gpu_labels.values()]
-    )
+    names = [accelerator_name, *gpu_labels.values()]
+    if service is not None:
+        pairs = [(name, n) for n in dict.fromkeys(lengths) for name in names]
+        reports = service.query_batch(pairs)
+        batch = BatchResult(lengths=lengths, backends=names)
+        for (name, n), report in zip(pairs, reports):
+            batch.reports[(name, n)] = report
+    else:
+        batch = session.simulate_batch(lengths, backends=names)
     lightnobel = batch.mean_folding_seconds(accelerator_name)
     gpu_seconds = {
         label: batch.mean_folding_seconds(name) for label, name in gpu_labels.items()

@@ -23,6 +23,7 @@ from ..hardware.accelerator import LightNobelAccelerator
 from .gpu_model import GPUModel
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from ..serving.service import LatencyService
     from ..sim.session import SimulationSession
 
 
@@ -91,22 +92,41 @@ class EndToEndComparison:
         gpu: str = "H100",
         accelerator: Optional[LightNobelAccelerator] = None,
         session: Optional["SimulationSession"] = None,
+        service: Optional["LatencyService"] = None,
     ) -> None:
         # Imported here, not at module top: repro.sim resolves backends via
         # this package, so a module-level import would be circular.
         from ..sim.backend import AcceleratorBackend
         from ..sim.session import session_for
 
+        if service is not None:
+            if session is not None and session is not service.session:
+                raise ValueError("pass either session or service, not both")
+            session = service.session
+        self._service = service
         self.session = session_for(ppm_config, session)
         self.ppm_config = self.session.ppm_config
-        self._gpu_backend = self.session.backend(gpu.lower())
+        self._gpu_backend = self._register(gpu.lower())
         self.gpu_model = self._gpu_backend.model
         self.accelerator = accelerator or LightNobelAccelerator(ppm_config=self.ppm_config)
         # Registered under a digest-derived name so a custom accelerator in a
         # shared session never hijacks the plain "lightnobel" binding.
         wrapped = AcceleratorBackend(simulator=self.accelerator)
         wrapped.name = f"lightnobel-{wrapped.config_digest()}"
-        self._accelerator_backend = self.session.add_backend(wrapped)
+        self._accelerator_backend = self._register(wrapped, name=wrapped.name)
+
+    def _register(self, spec, name: Optional[str] = None):
+        if self._service is not None:
+            return self._service.register_backend(spec, name=name)
+        if name is None and isinstance(spec, str):
+            return self.session.backend(spec)
+        return self.session.add_backend(spec, name=name)
+
+    def _simulate(self, sequence_length: int, backend_name: str):
+        """One report, via the shared service when configured, else the session."""
+        if self._service is not None:
+            return self._service.query(backend_name, sequence_length)
+        return self.session.simulate(sequence_length, backend=backend_name)
 
     def baseline_phases(self, sequence_length: int) -> Dict[str, float]:
         """ESMFold-on-GPU phase seconds, simulated once per (gpu, length).
@@ -114,7 +134,7 @@ class EndToEndComparison:
         Routed through the session memo, so :meth:`compare` evaluating eight
         system profiles at one length costs one GPU simulation, not eight.
         """
-        report = self.session.simulate(sequence_length, backend=self._gpu_backend.name)
+        report = self._simulate(sequence_length, self._gpu_backend.name)
         folding = report.phase_seconds.get(PHASE_PAIR, 0.0) + report.phase_seconds.get(PHASE_SEQUENCE, 0.0)
         return {
             "input_embedding": report.phase_seconds.get(PHASE_INPUT_EMBEDDING, 0.0),
@@ -127,8 +147,8 @@ class EndToEndComparison:
         phases = self.baseline_phases(sequence_length)
         folding = phases["folding"] * profile.folding_factor
         if system == "LightNobel":
-            folding = self.session.simulate(
-                sequence_length, backend=self._accelerator_backend.name
+            folding = self._simulate(
+                sequence_length, self._accelerator_backend.name
             ).folding_block_seconds
         return EndToEndResult(
             system=system,

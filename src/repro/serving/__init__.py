@@ -1,0 +1,54 @@
+"""Latency-serving layer: concurrent, multi-tenant queries over `repro.sim`.
+
+The third layer of the simulation stack: PR 1 made one simulation cheap
+(columnar engine), PR 2 made repeated simulations cheap (sessions, sweeps,
+disk cache), and this package makes *concurrent* simulations cheap — a
+request/response front end that coalesces duplicate in-flight work and
+shards unique work across the sweep process pool.
+
+Usage
+-----
+Synchronous convenience path::
+
+    from repro.serving import LatencyService
+
+    with LatencyService() as service:               # PPMConfig.paper()
+        report = service.query("lightnobel", 1410)  # SimReport
+
+Batch submit/poll with coalescing (duplicates share one simulation)::
+
+    from repro.serving import LatencyRequest, LatencyService
+
+    with LatencyService(workers=2) as service:
+        tickets = service.submit_batch(
+            [LatencyRequest("h100", 800)] * 16      # -> exactly 1 simulation
+            + [("lightnobel", n) for n in (300, 800, 1410)]
+        )
+        responses = [service.result(t) for t in tickets]
+        service.capacity_report().queries_per_second
+
+Figure entry points (``latency_breakdown``, ``compare_hardware_on_lengths``,
+``hardware_dse``, ``EndToEndComparison``) accept ``service=`` to route their
+latency numbers through one shared service instance.
+"""
+
+from .api import (
+    BackendServiceStats,
+    CapacityReport,
+    LatencyRequest,
+    LatencyResponse,
+    LatencyServiceError,
+)
+from .service import LatencyService
+from .stats import ServiceStats, percentile
+
+__all__ = [
+    "BackendServiceStats",
+    "CapacityReport",
+    "LatencyRequest",
+    "LatencyResponse",
+    "LatencyService",
+    "LatencyServiceError",
+    "ServiceStats",
+    "percentile",
+]

@@ -1,0 +1,128 @@
+"""Typed request/response surface of the latency-serving layer.
+
+The serving layer speaks in three frozen dataclasses:
+
+* :class:`LatencyRequest` — what a client asks for: a backend *spec*
+  (anything :func:`repro.sim.backend.create_backend` resolves — a registered
+  name, a frozen hardware config, a variant spec) plus a sequence length,
+* :class:`LatencyResponse` — the fulfilled request: the
+  :class:`~repro.sim.backend.SimReport`, per-request service timings, and
+  whether the request was coalesced onto an earlier in-flight duplicate,
+* :class:`CapacityReport` — an operator-facing snapshot of the service:
+  sustained queries/sec, hit rates, queue depth, and per-backend p50/p99
+  service latency (one :class:`BackendServiceStats` row per backend).
+
+Responses are produced by :class:`~repro.serving.service.LatencyService`;
+nothing here imports the service, so these types are cheap to ship across
+process or serialization boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+from ..sim.backend import SimReport
+
+
+class LatencyServiceError(RuntimeError):
+    """A request failed inside the service (bad spec, simulator error)."""
+
+
+@dataclass(frozen=True)
+class LatencyRequest:
+    """One latency/capacity query.
+
+    ``backend`` is a backend spec, not necessarily a built backend: strings
+    (``"lightnobel"``, ``"h100-chunk"``), frozen config dataclasses and
+    :class:`~repro.sim.backend.AcceleratorVariant`/:class:`~repro.sim.backend.GPUVariant`
+    specs all work.  ``include_recycles=None`` defers to the service default.
+    """
+
+    backend: Any = "lightnobel"
+    sequence_length: int = 0
+    include_recycles: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if int(self.sequence_length) <= 0:
+            raise ValueError("sequence_length must be positive")
+
+
+@dataclass(frozen=True)
+class LatencyResponse:
+    """A fulfilled (or failed) :class:`LatencyRequest`.
+
+    ``queue_seconds`` is the time the request waited before its job started
+    executing; ``service_seconds`` is submit-to-fulfillment.  ``coalesced``
+    marks requests that attached to an earlier in-flight duplicate instead of
+    enqueueing their own simulation.  ``completed_index`` is the global
+    fulfillment sequence number (jobs complete in FIFO submission order).
+    """
+
+    request_id: int
+    request: LatencyRequest
+    report: Optional[SimReport] = None
+    error: Optional[str] = None
+    coalesced: bool = False
+    queue_seconds: float = 0.0
+    service_seconds: float = 0.0
+    completed_index: int = -1
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.report is not None
+
+    def raise_for_error(self) -> "LatencyResponse":
+        if not self.ok:
+            raise LatencyServiceError(
+                f"request {self.request_id} ({self.request.backend!r}, "
+                f"n={self.request.sequence_length}) failed: {self.error}"
+            )
+        return self
+
+
+@dataclass(frozen=True)
+class BackendServiceStats:
+    """Per-backend service-latency summary (seconds, submit-to-fulfillment)."""
+
+    backend: str
+    requests: int
+    mean_seconds: float
+    p50_seconds: float
+    p99_seconds: float
+
+
+@dataclass(frozen=True)
+class CapacityReport:
+    """Operator-facing snapshot of a :class:`~repro.serving.service.LatencyService`.
+
+    ``queries_per_second`` is sustained throughput over *busy* time (the
+    dispatcher's execution windows), so idle services do not dilute it;
+    ``wall_seconds`` is time since the service started, for offered-load math.
+    """
+
+    requests: int
+    completed: int
+    errors: int
+    coalesced: int
+    memo_hits: int
+    simulations: int
+    queue_depth: int
+    peak_queue_depth: int
+    wall_seconds: float
+    busy_seconds: float
+    queries_per_second: float
+    backends: Tuple[BackendServiceStats, ...] = field(default_factory=tuple)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests served without a fresh simulation."""
+        if self.completed <= 0:
+            return 0.0
+        return (self.coalesced + self.memo_hits) / self.completed
+
+    @property
+    def coalescing_rate(self) -> float:
+        if self.requests <= 0:
+            return 0.0
+        return self.coalesced / self.requests

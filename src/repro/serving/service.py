@@ -1,0 +1,539 @@
+"""`LatencyService`: a latency/capacity query service over `repro.sim`.
+
+The serving layer turns the single-tenant :class:`~repro.sim.session.SimulationSession`
+into something that answers concurrent, multi-tenant traffic:
+
+* **request queue** — clients :meth:`~LatencyService.submit` typed
+  :class:`~repro.serving.api.LatencyRequest` objects and poll/await
+  :class:`~repro.serving.api.LatencyResponse` tickets; a dispatcher thread
+  drains the queue in FIFO order,
+* **coalescing** — duplicate in-flight (backend, length) queries attach to
+  the first one's job, so N identical concurrent requests cost exactly one
+  simulation (the NeMo-style same-shape batching, applied to sim points),
+* **worker pool** — each drained batch of *unique* jobs is evaluated either
+  serially through the shared session (memo + disk cache) or, with
+  ``workers > 1``, sharded across :func:`repro.sim.sweep.sweep`'s process
+  pool; pool results are seeded back into the session memo (and the
+  ``REPRO_SIM_CACHE_DIR`` disk cache) so the service warms up like any other
+  session user.
+
+Both execution paths run the identical per-point simulation code, so pooled
+and serial services return bit-identical numbers — asserted by
+``tests/test_serving.py`` and the CI smoke (:mod:`repro.serving.smoke`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple, Union
+
+from .._digest import stable_digest
+from ..gpu.gpu_config import GPUS, GPUSpec
+from ..hardware.config import LightNobelConfig
+from ..ppm.config import PPMConfig
+from ..sim.backend import (
+    AcceleratorVariant,
+    GPUVariant,
+    SimReport,
+    available_backends,
+)
+from ..sim.session import DEFAULT_BACKENDS, SimulationSession
+from ..sim.sweep import SweepPoint, resolve_workers, sweep
+from .api import LatencyRequest, LatencyResponse, CapacityReport, LatencyServiceError
+from .stats import ServiceStats
+
+RequestLike = Union[LatencyRequest, Tuple[Any, int]]
+
+
+def _as_request(request: RequestLike) -> LatencyRequest:
+    if isinstance(request, LatencyRequest):
+        return request
+    spec, length = request
+    return LatencyRequest(backend=spec, sequence_length=int(length))
+
+
+def _spec_key(spec: Any) -> Tuple[str, object]:
+    """Coalescing identity of a backend spec, computed without building it.
+
+    Strings fold case; config dataclasses and variant specs hash canonically
+    via :mod:`repro._digest`; opaque backend instances expose their own
+    ``config_digest``.  Anything else falls back to object identity — such
+    requests never coalesce with each other, but still execute correctly.
+    """
+    if isinstance(spec, str):
+        return ("name", spec.lower())
+    digest = getattr(spec, "config_digest", None)
+    if callable(digest):
+        return ("digest", f"{type(spec).__name__}:{digest()}")
+    try:
+        return ("digest", stable_digest("serving-spec", spec))
+    except TypeError:
+        return ("id", id(spec))
+
+
+def _poolable(spec: Any) -> bool:
+    """Whether a spec can be rebuilt inside a sweep worker process.
+
+    Registry names and frozen config/variant dataclasses ship cleanly across
+    the process boundary; session-local registrations (digest-derived names)
+    and live backend instances are evaluated serially instead.
+    """
+    if isinstance(spec, (AcceleratorVariant, GPUVariant, LightNobelConfig, GPUSpec)):
+        return True
+    if isinstance(spec, str):
+        key = spec.lower()
+        if key in available_backends():
+            return True
+        base = key[: -len("-chunk")] if key.endswith("-chunk") else key
+        return base.upper() in GPUS
+    return False
+
+
+def _backend_label(spec: Any, report: Optional[SimReport]) -> str:
+    """Stable display label for per-backend stats."""
+    if report is not None:
+        return report.backend
+    if isinstance(spec, str):
+        return spec.lower()
+    name = getattr(spec, "name", None)
+    if isinstance(name, str) and name:
+        return name
+    return type(spec).__name__
+
+
+@dataclass
+class _Ticket:
+    """One submitted request awaiting fulfillment."""
+
+    id: int
+    request: LatencyRequest
+    submitted_at: float
+    coalesced: bool
+    done: threading.Event = field(default_factory=threading.Event)
+    response: Optional[LatencyResponse] = None
+
+
+@dataclass
+class _Job:
+    """One unique (backend, length, recycles) simulation; owns its waiters."""
+
+    key: Tuple
+    spec: Any
+    sequence_length: int
+    include_recycles: bool
+    tickets: List[_Ticket] = field(default_factory=list)
+
+
+class LatencyService:
+    """Request queue + coalescing + worker pool over one shared session.
+
+    ``workers`` selects the execution path for each drained batch of unique
+    jobs: ``None``/0/1 (or ``$REPRO_SIM_WORKERS``) evaluates serially through
+    the shared :class:`~repro.sim.session.SimulationSession`; ``workers > 1``
+    shards pool-safe jobs across :func:`repro.sim.sweep.sweep` and seeds the
+    results back into the session memo.  ``cache_dir`` /
+    ``REPRO_SIM_CACHE_DIR`` enable the shared disk cache exactly as on a bare
+    session.
+
+    The dispatcher thread starts lazily on first submit (``autostart=True``)
+    or explicitly via :meth:`start` — tests submit with ``autostart=False``
+    to stage a concurrent batch deterministically.  The service is a context
+    manager; leaving the ``with`` block drains the queue and stops the
+    dispatcher.
+    """
+
+    def __init__(
+        self,
+        ppm_config: Optional[PPMConfig] = None,
+        backends: Iterable = DEFAULT_BACKENDS,
+        workers: Optional[int] = None,
+        cache_dir: Optional[Path | str] = None,
+        use_disk_cache: Optional[bool] = None,
+        include_recycles: bool = False,
+        session: Optional[SimulationSession] = None,
+        max_batch: int = 64,
+        autostart: bool = True,
+    ) -> None:
+        if session is not None:
+            if ppm_config is not None and ppm_config != session.ppm_config:
+                raise ValueError(
+                    "ppm_config does not match session.ppm_config; pass one or the other"
+                )
+            # A caller-supplied session carries its own backends/cache/recycle
+            # settings; silently dropping conflicting kwargs would make e.g.
+            # use_disk_cache=False a no-op, so reject them loudly.
+            if (
+                cache_dir is not None
+                or use_disk_cache is not None
+                or include_recycles
+                or tuple(backends) != DEFAULT_BACKENDS
+            ):
+                raise ValueError(
+                    "backends/cache_dir/use_disk_cache/include_recycles are "
+                    "session settings; configure them on the session instead"
+                )
+            self.session = session
+        else:
+            self.session = SimulationSession(
+                ppm_config=ppm_config,
+                backends=backends,
+                cache_dir=cache_dir,
+                use_disk_cache=use_disk_cache,
+                include_recycles=include_recycles,
+            )
+        self.workers = resolve_workers(workers)
+        self.max_batch = int(max_batch)
+        self.autostart = bool(autostart)
+        self.stats = ServiceStats()
+
+        self._cond = threading.Condition()
+        self._session_lock = threading.RLock()
+        self._queue: Deque[_Job] = deque()
+        self._pending: Dict[Tuple, _Job] = {}
+        self._tickets: Dict[int, _Ticket] = {}
+        self._next_ticket = 0
+        self._completed_index = 0
+        self._executing = 0
+        self._stopped = False
+        self._thread: Optional[threading.Thread] = None
+        self._started_at = time.perf_counter()
+
+    # ---------------------------------------------------------------- lifecycle
+    def start(self) -> "LatencyService":
+        """Start the dispatcher thread (idempotent)."""
+        with self._cond:
+            if self._stopped:
+                raise RuntimeError("service is closed")
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._run, name="latency-service", daemon=True
+                )
+                self._thread.start()
+        return self
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting requests; the dispatcher drains the queue, then exits."""
+        with self._cond:
+            if self._thread is None and self._queue:
+                # Never-started service with staged requests: start the
+                # dispatcher late so the drain contract holds and no ticket
+                # is left unfulfilled.
+                self._thread = threading.Thread(
+                    target=self._run, name="latency-service", daemon=True
+                )
+                self._thread.start()
+            self._stopped = True
+            self._cond.notify_all()
+            thread = self._thread
+        if wait and thread is not None:
+            thread.join()
+
+    def __enter__(self) -> "LatencyService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ submit
+    def _job_key(self, request: LatencyRequest) -> Tuple:
+        include = (
+            self.session.include_recycles
+            if request.include_recycles is None
+            else bool(request.include_recycles)
+        )
+        return (_spec_key(request.backend), int(request.sequence_length), include)
+
+    def submit(self, request: RequestLike) -> int:
+        """Enqueue one request; returns a ticket id for :meth:`poll`/:meth:`result`.
+
+        A request whose (backend, length, recycles) key matches a queued or
+        in-flight job attaches to that job — sharing its single simulation —
+        instead of enqueueing a new one.
+        """
+        request = _as_request(request)
+        key = self._job_key(request)
+        now = time.perf_counter()
+        with self._cond:
+            if self._stopped:
+                raise RuntimeError("service is closed")
+            ticket_id = self._next_ticket
+            self._next_ticket += 1
+            job = self._pending.get(key)
+            coalesced = job is not None
+            ticket = _Ticket(
+                id=ticket_id, request=request, submitted_at=now, coalesced=coalesced
+            )
+            self._tickets[ticket_id] = ticket
+            if job is None:
+                include = key[2]
+                job = _Job(
+                    key=key,
+                    spec=request.backend,
+                    sequence_length=int(request.sequence_length),
+                    include_recycles=include,
+                )
+                self._pending[key] = job
+                self._queue.append(job)
+            job.tickets.append(ticket)
+            depth = len(self._queue)
+            self._cond.notify_all()
+        self.stats.record_submit(coalesced=coalesced, queue_depth=depth)
+        if self.autostart:
+            self.start()
+        return ticket_id
+
+    def submit_batch(self, requests: Iterable[RequestLike]) -> List[int]:
+        """Enqueue many requests at once; returns ticket ids in input order."""
+        return [self.submit(request) for request in requests]
+
+    # ------------------------------------------------------------------- await
+    def poll(self, ticket_id: int) -> Optional[LatencyResponse]:
+        """The response for ``ticket_id`` if fulfilled, else ``None``.
+
+        A fulfilled ticket is consumed: polling it again raises ``KeyError``.
+        """
+        with self._cond:
+            ticket = self._tickets[ticket_id]
+            if not ticket.done.is_set():
+                return None
+            del self._tickets[ticket_id]
+            return ticket.response
+
+    def result(
+        self, ticket_id: int, timeout: Optional[float] = None
+    ) -> LatencyResponse:
+        """Block until ``ticket_id`` is fulfilled and return (and consume) it."""
+        with self._cond:
+            ticket = self._tickets[ticket_id]
+        if not ticket.done.wait(timeout):
+            raise TimeoutError(f"request {ticket_id} not fulfilled within {timeout}s")
+        with self._cond:
+            self._tickets.pop(ticket_id, None)
+        assert ticket.response is not None
+        return ticket.response
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Wait until the queue is empty and no batch is executing."""
+        with self._cond:
+            return self._cond.wait_for(
+                lambda: not self._queue and self._executing == 0, timeout
+            )
+
+    # ------------------------------------------------------------- convenience
+    def query(
+        self,
+        backend: Any,
+        sequence_length: int,
+        include_recycles: Optional[bool] = None,
+        timeout: Optional[float] = None,
+    ) -> SimReport:
+        """Synchronous submit + await; raises :class:`LatencyServiceError` on failure."""
+        ticket = self.submit(
+            LatencyRequest(
+                backend=backend,
+                sequence_length=sequence_length,
+                include_recycles=include_recycles,
+            )
+        )
+        return self.result(ticket, timeout=timeout).raise_for_error().report
+
+    def query_batch(
+        self, requests: Iterable[RequestLike], timeout: Optional[float] = None
+    ) -> List[SimReport]:
+        """Submit a batch and await every report, aligned with the input order."""
+        tickets = self.submit_batch(requests)
+        return [
+            self.result(ticket, timeout=timeout).raise_for_error().report
+            for ticket in tickets
+        ]
+
+    def register_backend(self, spec: Any, name: Optional[str] = None):
+        """Register a backend on the shared session (thread-safe).
+
+        Entry points that pre-register custom design points (digest-named
+        accelerator variants, reference GPUs) route through here so session
+        mutation never races the dispatcher.
+        """
+        with self._session_lock:
+            if name is None:
+                return self.session.backend(spec)
+            return self.session.add_backend(spec, name=name)
+
+    # -------------------------------------------------------------- accounting
+    def queue_depth(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    def capacity_report(self) -> CapacityReport:
+        """Throughput/hit-rate/latency snapshot (see :class:`CapacityReport`)."""
+        snap = self.stats.snapshot()
+        busy = float(snap["busy_seconds"])  # type: ignore[arg-type]
+        completed = int(snap["completed"])  # type: ignore[arg-type]
+        return CapacityReport(
+            requests=int(snap["submitted"]),
+            completed=completed,
+            errors=int(snap["errors"]),
+            coalesced=int(snap["coalesced"]),
+            memo_hits=int(snap["memo_hits"]),
+            simulations=int(snap["simulations"]),
+            queue_depth=self.queue_depth(),
+            peak_queue_depth=int(snap["peak_queue_depth"]),
+            wall_seconds=time.perf_counter() - self._started_at,
+            busy_seconds=busy,
+            queries_per_second=completed / busy if busy > 0 else 0.0,
+            backends=tuple(self.stats.backend_summaries()),
+        )
+
+    # -------------------------------------------------------------- dispatcher
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._stopped:
+                    # Every wake source (submit, close) calls notify_all, so a
+                    # plain wait needs no polling interval.
+                    self._cond.wait()
+                if not self._queue:
+                    return  # stopped and drained
+                jobs: List[_Job] = []
+                while self._queue and len(jobs) < self.max_batch:
+                    jobs.append(self._queue.popleft())
+                self._executing = len(jobs)
+            started = time.perf_counter()
+            results: Dict[Tuple, Tuple[Optional[SimReport], Optional[str], bool]] = {}
+            try:
+                results = self._execute(jobs)
+            finally:
+                # Fulfill even if _execute blew up: every drained ticket gets a
+                # response (an error one, in the worst case), never a hang.
+                self._fulfill(jobs, results, started)
+
+    def _execute(
+        self, jobs: List[_Job]
+    ) -> Dict[Tuple, Tuple[Optional[SimReport], Optional[str], bool]]:
+        """Evaluate unique jobs; returns key -> (report, error, memo_hit)."""
+        results: Dict[Tuple, Tuple[Optional[SimReport], Optional[str], bool]] = {}
+        pooled: List[_Job] = []
+        with self._session_lock:
+            for job in jobs:
+                try:
+                    report = self.session.peek_report(
+                        job.spec, job.sequence_length, job.include_recycles
+                    )
+                except Exception as exc:  # bad spec: resolution itself failed
+                    results[job.key] = (None, str(exc), False)
+                    continue
+                if report is not None:
+                    results[job.key] = (report, None, True)
+                elif (
+                    self.workers is not None
+                    and self.workers > 1
+                    and _poolable(job.spec)
+                ):
+                    pooled.append(job)
+                else:
+                    results[job.key] = self._simulate_serial(job)
+            if len(pooled) == 1:
+                # A single point gains nothing from a pool; keep it in-session.
+                results[pooled[0].key] = self._simulate_serial(pooled[0])
+            elif pooled:
+                self._simulate_pooled(pooled, results)
+        return results
+
+    def _simulate_serial(
+        self, job: _Job
+    ) -> Tuple[Optional[SimReport], Optional[str], bool]:
+        try:
+            report = self.session.simulate(
+                job.sequence_length,
+                backend=job.spec,
+                include_recycles=job.include_recycles,
+            )
+        except Exception as exc:
+            return (None, str(exc), False)
+        self.stats.record_simulations(1)
+        return (report, None, False)
+
+    def _simulate_pooled(
+        self,
+        jobs: List[_Job],
+        results: Dict[Tuple, Tuple[Optional[SimReport], Optional[str], bool]],
+    ) -> None:
+        """Shard a batch of unique jobs across ``sweep()``'s process pool.
+
+        Jobs are grouped by recycles flag (a sweep-level setting); any pool
+        failure degrades to the per-job serial path, so the service keeps the
+        sweep module's never-have-to-care fallback contract.
+        """
+        by_include: Dict[bool, List[_Job]] = {}
+        for job in jobs:
+            by_include.setdefault(job.include_recycles, []).append(job)
+        for include, group in by_include.items():
+            points = [SweepPoint(job.spec, job.sequence_length) for job in group]
+            try:
+                reports = sweep(
+                    points,
+                    ppm_config=self.session.ppm_config,
+                    workers=self.workers,
+                    include_recycles=include,
+                )
+            except Exception:
+                for job in group:
+                    results[job.key] = self._simulate_serial(job)
+                continue
+            self.stats.record_simulations(len(group))
+            for job, report in zip(group, reports):
+                # Seed the shared memo/disk cache so later duplicates are
+                # memo hits, exactly as if the session had simulated them.
+                try:
+                    self.session.seed_report(
+                        job.spec, job.sequence_length, report, include
+                    )
+                except Exception:
+                    pass
+                results[job.key] = (report, None, False)
+
+    def _fulfill(
+        self,
+        jobs: List[_Job],
+        results: Dict[Tuple, Tuple[Optional[SimReport], Optional[str], bool]],
+        started: float,
+    ) -> None:
+        end = time.perf_counter()
+        with self._cond:
+            for job in jobs:
+                report, error, memo_hit = results.get(
+                    job.key, (None, "job aborted by dispatcher error", False)
+                )
+                self._pending.pop(job.key, None)
+                index = self._completed_index
+                self._completed_index += 1
+                label = _backend_label(job.spec, report)
+                for ticket in job.tickets:
+                    ticket.response = LatencyResponse(
+                        request_id=ticket.id,
+                        request=ticket.request,
+                        report=report,
+                        error=error,
+                        coalesced=ticket.coalesced,
+                        queue_seconds=max(0.0, started - ticket.submitted_at),
+                        service_seconds=max(0.0, end - ticket.submitted_at),
+                        completed_index=index,
+                    )
+                    # Coalesced tickets are already counted at submit time;
+                    # counting them as memo hits too would double-credit the
+                    # hit rate.
+                    self.stats.record_result(
+                        label,
+                        ticket.response.service_seconds,
+                        error=error is not None,
+                        memo_hit=memo_hit and not ticket.coalesced,
+                    )
+                    ticket.done.set()
+            self._executing = 0
+            depth = len(self._queue)
+            self._cond.notify_all()
+        self.stats.record_batch(busy_seconds=end - started, queue_depth=depth)

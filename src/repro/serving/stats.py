@@ -1,0 +1,145 @@
+"""Thread-safe service accounting: hit rates, queue depth, latency percentiles.
+
+One :class:`ServiceStats` instance lives inside every
+:class:`~repro.serving.service.LatencyService`.  Submission-side counters are
+updated under the service lock by client threads; fulfillment-side counters
+and the per-backend latency reservoirs are updated by the dispatcher.  All
+reads go through :meth:`ServiceStats.snapshot`, which copies under the lock,
+so callers never observe a torn update.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, List, Sequence
+
+from .api import BackendServiceStats
+
+#: Per-backend latency samples kept for percentile estimation.  Old samples
+#: fall out FIFO, so long-lived services report *recent* p50/p99, not the
+#: all-time distribution.
+RESERVOIR_SIZE = 2048
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 100])."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, int(round(q / 100.0 * len(ordered) + 0.5)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+class LatencyReservoir:
+    """Bounded FIFO of latency samples plus running count/total."""
+
+    def __init__(self, maxlen: int = RESERVOIR_SIZE) -> None:
+        self.samples: Deque[float] = deque(maxlen=maxlen)
+        self.count = 0
+        self.total = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.samples.append(float(seconds))
+        self.count += 1
+        self.total += float(seconds)
+
+    def summary(self, backend: str) -> BackendServiceStats:
+        samples = list(self.samples)
+        return BackendServiceStats(
+            backend=backend,
+            requests=self.count,
+            mean_seconds=self.total / self.count if self.count else 0.0,
+            p50_seconds=percentile(samples, 50.0),
+            p99_seconds=percentile(samples, 99.0),
+        )
+
+
+class ServiceStats:
+    """Counters and reservoirs behind :meth:`LatencyService.capacity_report`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.completed = 0
+        self.errors = 0
+        self.coalesced = 0
+        self.memo_hits = 0
+        self.simulations = 0
+        self.batches = 0
+        self.busy_seconds = 0.0
+        self.queue_depth = 0
+        self.peak_queue_depth = 0
+        self._backends: Dict[str, LatencyReservoir] = {}
+
+    # ------------------------------------------------------------- submission
+    def record_submit(self, coalesced: bool, queue_depth: int) -> None:
+        with self._lock:
+            self.submitted += 1
+            if coalesced:
+                self.coalesced += 1
+            self.queue_depth = queue_depth
+            self.peak_queue_depth = max(self.peak_queue_depth, queue_depth)
+
+    # ------------------------------------------------------------ fulfillment
+    def record_batch(self, busy_seconds: float, queue_depth: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.busy_seconds += float(busy_seconds)
+            self.queue_depth = queue_depth
+
+    def record_result(
+        self,
+        backend: str,
+        service_seconds: float,
+        error: bool = False,
+        memo_hit: bool = False,
+    ) -> None:
+        with self._lock:
+            self.completed += 1
+            if error:
+                self.errors += 1
+            if memo_hit:
+                self.memo_hits += 1
+            reservoir = self._backends.get(backend)
+            if reservoir is None:
+                reservoir = self._backends[backend] = LatencyReservoir()
+            reservoir.record(service_seconds)
+
+    def record_simulations(self, count: int) -> None:
+        with self._lock:
+            self.simulations += int(count)
+
+    # ------------------------------------------------------------------ reads
+    @property
+    def hit_rate(self) -> float:
+        with self._lock:
+            if self.completed <= 0:
+                return 0.0
+            return (self.coalesced + self.memo_hits) / self.completed
+
+    def backend_summaries(self) -> List[BackendServiceStats]:
+        with self._lock:
+            return [
+                reservoir.summary(name)
+                for name, reservoir in sorted(self._backends.items())
+            ]
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "errors": self.errors,
+                "coalesced": self.coalesced,
+                "memo_hits": self.memo_hits,
+                "simulations": self.simulations,
+                "batches": self.batches,
+                "busy_seconds": self.busy_seconds,
+                "queue_depth": self.queue_depth,
+                "peak_queue_depth": self.peak_queue_depth,
+                "backends": {
+                    name: reservoir.summary(name)
+                    for name, reservoir in self._backends.items()
+                },
+            }

@@ -19,7 +19,7 @@ the loop the paper's Figs. 12–16 all run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -223,25 +223,81 @@ class SimulationSession:
         include_recycles: Optional[bool] = None,
     ) -> SimReport:
         """Latency report of one backend at one sequence length (memoized)."""
-        resolved = self.backend(backend)
-        name = next(k for k, v in self._backends.items() if v is resolved)
-        include = self.include_recycles if include_recycles is None else include_recycles
         # Keyed by the backend's config digest, not its name: re-registering a
         # different config under an existing name must not serve stale reports.
-        memo_key = (self._backend_digests[name], int(sequence_length), bool(include))
+        name, memo_key = self._memo_key(backend, sequence_length, include_recycles)
+        include = memo_key[2]
         report = self._reports.get(memo_key)
         if report is not None:
-            return report
+            return self._labeled(report, name)
         disk_key = None
         if self.cache is not None:
             disk_key = self._report_key(name, sequence_length, include)
             report = self.cache.get(disk_key)
         if report is None:
-            report = resolved.simulate_table(self.table(sequence_length, include))
+            report = self._backends[name].simulate_table(self.table(sequence_length, include))
             if self.cache is not None and disk_key is not None:
                 self.cache.put(disk_key, report)
         self._reports[memo_key] = report
+        return self._labeled(report, name)
+
+    def _memo_key(self, spec, sequence_length: int, include_recycles: Optional[bool]):
+        """(digest, length, recycles) memo key plus the resolved backend name."""
+        resolved = self.backend(spec)
+        name = next(k for k, v in self._backends.items() if v is resolved)
+        include = self.include_recycles if include_recycles is None else include_recycles
+        return name, (self._backend_digests[name], int(sequence_length), bool(include))
+
+    @staticmethod
+    def _labeled(report: SimReport, name: str) -> SimReport:
+        """Report relabeled to the requested registration name.
+
+        The memo is keyed by config digest, so two registrations of the same
+        configuration under different names share one entry; the label must
+        still follow the name the caller asked for (per-backend serving stats
+        bucket by it).
+        """
+        if report.backend != name:
+            report = replace(report, backend=name)
         return report
+
+    def peek_report(
+        self,
+        backend="lightnobel",
+        sequence_length: int = 0,
+        include_recycles: Optional[bool] = None,
+    ) -> Optional[SimReport]:
+        """Memoized/disk-cached report if one exists, without simulating.
+
+        The serving layer uses this to split a drained batch into memo hits
+        and jobs that still need a simulator; a disk-cache hit is promoted
+        into the in-memory memo on the way out.
+        """
+        name, memo_key = self._memo_key(backend, sequence_length, include_recycles)
+        report = self._reports.get(memo_key)
+        if report is None and self.cache is not None:
+            report = self.cache.get(self._report_key(name, sequence_length, memo_key[2]))
+            if report is not None:
+                self._reports[memo_key] = report
+        return self._labeled(report, name) if report is not None else None
+
+    def seed_report(
+        self,
+        backend,
+        sequence_length: int,
+        report: SimReport,
+        include_recycles: Optional[bool] = None,
+    ) -> None:
+        """Insert an externally computed report into the memo (and disk cache).
+
+        Used by pool-based executors (the serving layer's worker path) whose
+        simulations ran in other processes: seeding keeps the shared session
+        as warm as if it had simulated the point itself.
+        """
+        name, memo_key = self._memo_key(backend, sequence_length, include_recycles)
+        self._reports[memo_key] = report
+        if self.cache is not None:
+            self.cache.put(self._report_key(name, sequence_length, memo_key[2]), report)
 
     def simulate_batch(
         self,

@@ -1,11 +1,15 @@
 """Property-based tests (hypothesis) for core invariants."""
 
+import dataclasses
+
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.core import (
+    PackedQuantizedTensor,
     TokenQuantConfig,
     fake_quantize_tokens,
     fake_quantize_tokenwise,
@@ -13,7 +17,11 @@ from repro.core import (
     quantize_token,
     symmetric_scale,
 )
+from repro.core.aaq import AAQConfig
+from repro.gpu.gpu_config import get_gpu
+from repro.hardware import LightNobelConfig
 from repro.metrics import kabsch, tm_score
+from repro.ppm import PPMConfig
 from repro.ppm.functional import softmax
 
 finite_floats = st.floats(
@@ -117,3 +125,104 @@ def test_softmax_rows_are_distributions(x):
     y = softmax(x, axis=-1)
     assert np.all(y >= 0)
     assert np.allclose(y.sum(axis=-1), 1.0, atol=1e-9)
+
+
+# --------------------------------------------------------------- config_digest
+#: Cross-process/cross-version anchors: these digests key every on-disk cache
+#: entry, so a change in the canonical serialization (field order, float
+#: formatting, dataclass handling) must show up here, not as silently
+#: mismatched cache keys.  Regenerate deliberately via ``config_digest()``.
+PINNED_DIGESTS = {
+    "PPMConfig.paper": (PPMConfig.paper, "76c31c429cf4c857"),
+    "PPMConfig.tiny": (PPMConfig.tiny, "dc9f905cb9b0bce4"),
+    "LightNobelConfig": (LightNobelConfig, "5a8efafda3dbc9fb"),
+    "GPUSpec.H100": (lambda: get_gpu("H100"), "aede25983e2495e2"),
+    "AAQConfig.paper_optimal": (AAQConfig.paper_optimal, "a9d0d690670a8fff"),
+}
+
+
+@pytest.mark.parametrize("name", sorted(PINNED_DIGESTS))
+def test_config_digest_pinned_across_processes(name):
+    factory, expected = PINNED_DIGESTS[name]
+    assert factory().config_digest() == expected
+
+
+def test_config_digest_stable_for_equal_configs():
+    for factory, _ in PINNED_DIGESTS.values():
+        assert factory().config_digest() == factory().config_digest()
+
+
+@pytest.mark.parametrize(
+    "base", [PPMConfig.tiny(), PPMConfig.paper(), LightNobelConfig()]
+)
+def test_config_digest_changes_when_any_field_changes(base):
+    """Every field perturbation that yields a valid config moves the digest."""
+    digest = base.config_digest()
+    perturbed_fields = 0
+    for field_info in dataclasses.fields(base):
+        value = getattr(base, field_info.name)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        bumped = value + 1 if isinstance(value, int) else value * 1.5 + 0.25
+        try:
+            variant = dataclasses.replace(base, **{field_info.name: bumped})
+        except ValueError:
+            continue  # perturbation violates the config's own validation
+        assert variant.config_digest() != digest, field_info.name
+        perturbed_fields += 1
+    assert perturbed_fields >= 5  # the sweep really exercised the dataclass
+
+
+@given(st.integers(min_value=1, max_value=64), st.integers(min_value=1, max_value=8))
+@settings(max_examples=30, deadline=None)
+def test_lightnobel_digest_uniqueness_over_grid(num_rmpus, vvpus):
+    a = LightNobelConfig(num_rmpus=num_rmpus, vvpus_per_rmpu=vvpus)
+    b = LightNobelConfig(num_rmpus=num_rmpus, vvpus_per_rmpu=vvpus)
+    c = LightNobelConfig(num_rmpus=num_rmpus + 1, vvpus_per_rmpu=vvpus)
+    assert a.config_digest() == b.config_digest()
+    assert a.config_digest() != c.config_digest()
+
+
+# ------------------------------------------- PackedQuantizedTensor round trips
+@given(token_arrays(max_tokens=6, max_dim=24), st.sampled_from([4, 8]), st.integers(0, 30))
+@settings(max_examples=40, deadline=None)
+def test_packed_roundtrip_on_random_shapes(values, bits, outliers):
+    """pack → unpack preserves shape and matches the per-token path exactly.
+
+    ``outliers`` deliberately ranges past ``hidden_dim`` to cover the
+    every-value-is-an-outlier clamp.
+    """
+    config = TokenQuantConfig(inlier_bits=bits, outlier_count=outliers)
+    packed = PackedQuantizedTensor.pack(values, config)
+    reconstructed = packed.unpack()
+    assert reconstructed.shape == values.shape
+    assert np.all(np.isfinite(reconstructed))
+    for row_index in range(values.shape[0]):
+        per_token = quantize_token(values[row_index], config).dequantize()
+        assert np.array_equal(reconstructed[row_index], per_token)
+
+
+@given(token_arrays(max_tokens=5, max_dim=16), st.integers(0, 6))
+@settings(max_examples=40, deadline=None)
+def test_packed_roundtrip_error_bounded_by_scales(values, outliers):
+    """|x - unpack(pack(x))| <= scale/2 element-wise, per token and grid."""
+    config = TokenQuantConfig(inlier_bits=8, outlier_count=outliers)
+    packed = PackedQuantizedTensor.pack(values, config)
+    error = np.abs(values - packed.unpack())
+    bound = np.maximum(packed.scales, packed.outlier_scales)[:, None] / 2.0
+    assert np.all(error <= bound + 1e-12)
+
+
+@given(token_arrays(max_tokens=5, max_dim=16), st.sampled_from([4, 8]), st.integers(0, 6))
+@settings(max_examples=30, deadline=None)
+def test_packed_to_tokens_from_tokens_is_lossless(values, bits, outliers):
+    config = TokenQuantConfig(inlier_bits=bits, outlier_count=outliers)
+    packed = PackedQuantizedTensor.pack(values, config)
+    rebuilt = PackedQuantizedTensor.from_tokens(packed.to_tokens())
+    assert np.array_equal(rebuilt.inlier_values, packed.inlier_values)
+    assert np.array_equal(rebuilt.inlier_indices, packed.inlier_indices)
+    assert np.array_equal(rebuilt.outlier_values, packed.outlier_values)
+    assert np.array_equal(rebuilt.outlier_indices, packed.outlier_indices)
+    assert np.array_equal(rebuilt.scales, packed.scales)
+    assert np.array_equal(rebuilt.outlier_scales, packed.outlier_scales)
+    assert np.array_equal(rebuilt.unpack(), packed.unpack())

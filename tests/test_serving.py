@@ -1,0 +1,371 @@
+"""Latency-serving layer: coalescing, ordering, pool-vs-serial parity, stats."""
+
+import threading
+
+import pytest
+
+from repro.analysis import hardware_dse, latency_breakdown
+from repro.analysis.latency import compare_hardware_on_lengths
+from repro.gpu import EndToEndComparison
+from repro.hardware import LightNobelConfig
+from repro.ppm import PPMConfig
+from repro.serving import (
+    LatencyRequest,
+    LatencyService,
+    LatencyServiceError,
+)
+from repro.sim import SimulationSession
+from repro.sim.backend import AcceleratorBackend
+
+LENGTHS = (24, 40)
+TIMEOUT = 120.0
+
+
+@pytest.fixture()
+def config() -> PPMConfig:
+    return PPMConfig.tiny()
+
+
+def make_service(config, **kwargs) -> LatencyService:
+    # Disk cache off by default in these tests: several of them count
+    # simulations, which a hit from the suite-wide sandbox cache would skip.
+    kwargs.setdefault("use_disk_cache", False)
+    return LatencyService(ppm_config=config, **kwargs)
+
+
+@pytest.fixture()
+def count_accelerator_sims(monkeypatch):
+    """Count how many times the accelerator backend actually simulates."""
+    calls = {"n": 0}
+    original = AcceleratorBackend.simulate_table
+
+    def counting(self, table):
+        calls["n"] += 1
+        return original(self, table)
+
+    monkeypatch.setattr(AcceleratorBackend, "simulate_table", counting)
+    return calls
+
+
+class TestCoalescing:
+    def test_identical_inflight_requests_share_one_simulation(
+        self, config, count_accelerator_sims
+    ):
+        service = make_service(config, autostart=False)
+        tickets = service.submit_batch(
+            [LatencyRequest("lightnobel", LENGTHS[0])] * 8
+        )
+        assert service.queue_depth() == 1  # one unique job for 8 requests
+        service.start()
+        responses = [service.result(t, timeout=TIMEOUT) for t in tickets]
+        assert count_accelerator_sims["n"] == 1
+        assert service.stats.simulations == 1
+        assert service.stats.coalesced == 7
+        assert sum(r.coalesced for r in responses) == 7
+        totals = {r.report.total_seconds for r in responses}
+        assert len(totals) == 1
+        service.close()
+
+    def test_mixed_batch_coalesces_by_key(self, config, count_accelerator_sims):
+        service = make_service(config, autostart=False)
+        requests = [
+            LatencyRequest("lightnobel", n) for n in (LENGTHS * 3)
+        ]  # 6 requests, 2 unique keys
+        tickets = service.submit_batch(requests)
+        assert service.queue_depth() == 2
+        service.start()
+        for ticket in tickets:
+            service.result(ticket, timeout=TIMEOUT).raise_for_error()
+        assert count_accelerator_sims["n"] == 2
+        assert service.stats.coalesced == 4
+        service.close()
+
+    def test_case_variants_of_a_name_coalesce(self, config):
+        service = make_service(config, autostart=False)
+        service.submit_batch([("H100", LENGTHS[0]), ("h100", LENGTHS[0])])
+        assert service.queue_depth() == 1
+        service.start()
+        service.join(timeout=TIMEOUT)
+        assert service.stats.coalesced == 1
+        service.close()
+
+    def test_distinct_recycle_flags_do_not_coalesce(self, config):
+        service = make_service(config, autostart=False)
+        service.submit_batch(
+            [
+                LatencyRequest("lightnobel", LENGTHS[0], include_recycles=False),
+                LatencyRequest("lightnobel", LENGTHS[0], include_recycles=True),
+            ]
+        )
+        assert service.queue_depth() == 2
+        service.close(wait=False)
+
+    def test_late_duplicate_is_a_memo_hit(self, config, count_accelerator_sims):
+        with make_service(config) as service:
+            first = service.query("lightnobel", LENGTHS[0], timeout=TIMEOUT)
+            again = service.query("lightnobel", LENGTHS[0], timeout=TIMEOUT)
+            assert again.total_seconds == first.total_seconds
+            assert count_accelerator_sims["n"] == 1
+            assert service.stats.memo_hits == 1
+            assert service.stats.coalesced == 0
+
+
+class TestQueueOrdering:
+    def test_jobs_complete_in_submission_order(self, config):
+        service = make_service(config, autostart=False)
+        requests = [
+            LatencyRequest(spec, n)
+            for spec in ("lightnobel", "h100", "a100-chunk")
+            for n in LENGTHS
+        ]
+        tickets = service.submit_batch(requests)
+        assert service.queue_depth() == len(requests)
+        service.start()
+        responses = [service.result(t, timeout=TIMEOUT) for t in tickets]
+        order = [r.completed_index for r in responses]
+        assert order == sorted(order)
+        assert len(set(order)) == len(requests)
+        service.close()
+
+    def test_coalesced_requests_share_the_completed_index(self, config):
+        service = make_service(config, autostart=False)
+        tickets = service.submit_batch([("lightnobel", LENGTHS[0])] * 3)
+        service.start()
+        indices = {
+            service.result(t, timeout=TIMEOUT).completed_index for t in tickets
+        }
+        assert len(indices) == 1
+        service.close()
+
+    def test_service_timings_are_ordered(self, config):
+        with make_service(config) as service:
+            ticket = service.submit(LatencyRequest("lightnobel", LENGTHS[1]))
+            response = service.result(ticket, timeout=TIMEOUT)
+        assert 0.0 <= response.queue_seconds <= response.service_seconds
+
+
+class TestWorkerPoolParity:
+    def grid(self):
+        return [
+            (spec, n)
+            for spec in ("lightnobel", "h100", "h100-chunk", LightNobelConfig(num_rmpus=8))
+            for n in LENGTHS
+        ]
+
+    def test_pooled_matches_serial_and_direct_session(self, config):
+        with make_service(config, workers=2) as pooled:
+            pooled_reports = pooled.query_batch(self.grid(), timeout=TIMEOUT)
+        with make_service(config, workers=None) as serial:
+            serial_reports = serial.query_batch(self.grid(), timeout=TIMEOUT)
+        session = SimulationSession(ppm_config=config, use_disk_cache=False)
+        for (spec, n), fast, slow in zip(self.grid(), pooled_reports, serial_reports):
+            direct = session.simulate(n, backend=spec)
+            assert fast.total_seconds == slow.total_seconds == direct.total_seconds
+            assert fast.phase_seconds == direct.phase_seconds
+
+    def test_pooled_results_seed_the_session_memo(self, config):
+        with make_service(config, workers=2) as service:
+            service.query_batch(self.grid(), timeout=TIMEOUT)
+            # Every pooled result must now be a memo hit on the shared session.
+            for spec, n in self.grid():
+                assert service.session.peek_report(spec, n) is not None
+
+    def test_pool_unsafe_specs_still_served(self, config):
+        # A live backend instance cannot be shipped to a worker process; the
+        # service must evaluate it serially instead of failing.
+        backend = AcceleratorBackend(ppm_config=config)
+        backend.unpicklable = threading.Lock()
+        with make_service(config, workers=2) as service:
+            report = service.query(backend, LENGTHS[0], timeout=TIMEOUT)
+        direct = SimulationSession(ppm_config=config, use_disk_cache=False).simulate(
+            LENGTHS[0], backend="lightnobel"
+        )
+        assert report.total_seconds == direct.total_seconds
+
+
+class TestSynchronousAndErrors:
+    def test_query_returns_simreport(self, config):
+        with make_service(config) as service:
+            report = service.query("h100", LENGTHS[0], timeout=TIMEOUT)
+        assert report.backend == "h100"
+        assert report.total_seconds > 0
+
+    def test_unknown_backend_is_an_error_response_not_a_crash(self, config):
+        with make_service(config) as service:
+            ticket = service.submit(LatencyRequest("not-a-backend", LENGTHS[0]))
+            response = service.result(ticket, timeout=TIMEOUT)
+            assert not response.ok
+            assert "not-a-backend" in response.error
+            with pytest.raises(LatencyServiceError):
+                response.raise_for_error()
+            # The service keeps serving after an error.
+            assert service.query("h100", LENGTHS[0], timeout=TIMEOUT).total_seconds > 0
+            assert service.stats.errors == 1
+
+    def test_nonpositive_length_rejected_at_request_construction(self):
+        with pytest.raises(ValueError):
+            LatencyRequest("lightnobel", 0)
+
+    def test_poll_semantics(self, config):
+        service = make_service(config, autostart=False)
+        ticket = service.submit(LatencyRequest("lightnobel", LENGTHS[0]))
+        assert service.poll(ticket) is None  # not started yet
+        service.start()
+        service.join(timeout=TIMEOUT)
+        response = service.poll(ticket)
+        assert response is not None and response.ok
+        with pytest.raises(KeyError):  # consumed
+            service.poll(ticket)
+        service.close()
+
+    def test_submit_after_close_raises(self, config):
+        service = make_service(config)
+        service.close()
+        with pytest.raises(RuntimeError):
+            service.submit(LatencyRequest("lightnobel", LENGTHS[0]))
+
+    def test_close_drains_pending_requests(self, config):
+        service = make_service(config, autostart=False)
+        tickets = service.submit_batch([("lightnobel", n) for n in LENGTHS])
+        service.start()
+        service.close(wait=True)
+        for ticket in tickets:
+            assert service.result(ticket, timeout=0.0).ok
+
+    def test_close_drains_even_if_dispatcher_never_started(self, config):
+        # Regression: close() on a staged-but-never-started service must
+        # still fulfill the queued tickets, not strand them forever.
+        service = make_service(config, autostart=False)
+        ticket = service.submit(LatencyRequest("lightnobel", LENGTHS[0]))
+        service.close(wait=True)
+        assert service.result(ticket, timeout=0.0).ok
+
+    def test_session_settings_rejected_alongside_session(self, config):
+        session = SimulationSession(ppm_config=config)
+        with pytest.raises(ValueError):
+            LatencyService(session=session, use_disk_cache=False)
+        with pytest.raises(ValueError):
+            LatencyService(session=session, backends=("lightnobel",))
+
+    def test_session_config_mismatch_raises(self, config):
+        session = SimulationSession(ppm_config=config)
+        with pytest.raises(ValueError):
+            LatencyService(ppm_config=PPMConfig.small(), session=session)
+
+
+class TestStatsAndCapacity:
+    def test_counters_and_percentiles(self, config):
+        with make_service(config) as service:
+            service.query_batch(
+                [("lightnobel", n) for n in LENGTHS] * 3, timeout=TIMEOUT
+            )
+            report = service.capacity_report()
+        assert report.requests == 6
+        assert report.completed == 6
+        assert report.errors == 0
+        assert report.simulations == 2
+        assert report.coalesced + report.memo_hits == 4
+        assert report.hit_rate == pytest.approx(4 / 6)
+        assert report.queue_depth == 0
+        assert report.peak_queue_depth >= 1
+        assert report.busy_seconds > 0
+        assert report.queries_per_second > 0
+        labels = {row.backend for row in report.backends}
+        assert "lightnobel" in labels
+        for row in report.backends:
+            assert row.requests > 0
+            assert 0 <= row.p50_seconds <= row.p99_seconds
+
+    def test_queue_depth_tracks_staged_load(self, config):
+        service = make_service(config, autostart=False)
+        service.submit_batch([("lightnobel", n) for n in LENGTHS])
+        assert service.stats.peak_queue_depth == 2
+        service.start()
+        service.join(timeout=TIMEOUT)
+        assert service.queue_depth() == 0
+        service.close()
+
+
+class TestRewiredEntryPoints:
+    def test_latency_breakdown_matches_session_path(self, config):
+        with make_service(config) as service:
+            via_service = latency_breakdown(LENGTHS[0], config=config, service=service)
+        direct = latency_breakdown(
+            LENGTHS[0], session=SimulationSession(ppm_config=config, use_disk_cache=False)
+        )
+        assert via_service.phase_fractions == direct.phase_fractions
+        assert via_service.subphase_fractions == direct.subphase_fractions
+
+    def test_compare_hardware_matches_session_path(self, config):
+        with make_service(config, workers=2) as service:
+            via_service = compare_hardware_on_lengths(
+                "dataset", LENGTHS, config=config, service=service
+            )
+        direct = compare_hardware_on_lengths(
+            "dataset",
+            LENGTHS,
+            session=SimulationSession(ppm_config=config, use_disk_cache=False),
+        )
+        assert via_service.lightnobel_seconds == direct.lightnobel_seconds
+        assert via_service.gpu_seconds == direct.gpu_seconds
+        assert via_service.out_of_memory == direct.out_of_memory
+
+    def test_hardware_dse_matches_sweep_path(self, config):
+        kwargs = dict(
+            sequence_lengths=[LENGTHS[0]],
+            rmpu_counts=(8, 32),
+            vvpu_counts=(2, 4),
+            config=config,
+        )
+        with make_service(config, workers=2) as service:
+            via_service = hardware_dse(service=service, **kwargs)
+        direct = hardware_dse(**kwargs)
+        for key in ("vvpu_sweep", "rmpu_sweep"):
+            assert [p.average_latency_seconds for p in via_service[key]] == [
+                p.average_latency_seconds for p in direct[key]
+            ]
+
+    def test_end_to_end_comparison_matches_session_path(self, config):
+        with make_service(config) as service:
+            via_service = EndToEndComparison(service=service).compare(LENGTHS)
+        direct = EndToEndComparison(
+            session=SimulationSession(ppm_config=config, use_disk_cache=False)
+        ).compare(LENGTHS)
+        assert via_service == direct
+
+    def test_service_session_mismatch_raises(self, config):
+        with make_service(config) as service:
+            other = SimulationSession(ppm_config=config)
+            with pytest.raises(ValueError):
+                latency_breakdown(
+                    LENGTHS[0], config=config, session=other, service=service
+                )
+            with pytest.raises(ValueError):
+                hardware_dse(
+                    [LENGTHS[0]], config=PPMConfig.small(), service=service
+                )
+
+    def test_concurrent_tenants_share_coalesced_work(self, config):
+        # Two "tenants" submit overlapping grids from different threads; the
+        # service must answer both with consistent numbers and coalesce the
+        # overlap whenever the queue still holds the duplicate.
+        results = {}
+
+        def tenant(name, service):
+            results[name] = [
+                r.total_seconds
+                for r in service.query_batch(
+                    [("lightnobel", n) for n in LENGTHS * 2], timeout=TIMEOUT
+                )
+            ]
+
+        with make_service(config) as service:
+            threads = [
+                threading.Thread(target=tenant, args=(i, service)) for i in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert service.stats.simulations == len(LENGTHS)
+        assert results[0] == results[1] == results[2]

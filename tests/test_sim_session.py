@@ -88,7 +88,9 @@ class TestSimulateBatch:
             assert batch.totals(name) == loop
 
     def test_batch_dedupes_lengths_and_memoizes(self, config):
-        session = SimulationSession(ppm_config=config)
+        # Disk cache off: the assertions below count in-memory table builds,
+        # which a disk hit (from the suite-wide sandbox cache) would skip.
+        session = SimulationSession(ppm_config=config, use_disk_cache=False)
         lengths = [LENGTHS[0], LENGTHS[0], LENGTHS[1]]
         batch = session.simulate_batch(lengths, backends=["lightnobel"])
         assert len(batch.totals("lightnobel")) == 3
@@ -286,7 +288,10 @@ class TestEndToEndCaching:
             return original(self, table, chunked=chunked)
 
         monkeypatch.setattr(GPUModel, "simulate_table", counting)
-        comparison = EndToEndComparison(ppm_config=config)
+        # Disk cache off so every (gpu, length) pair really hits the
+        # simulator once instead of being served from the sandbox cache.
+        session = SimulationSession(ppm_config=config, use_disk_cache=False)
+        comparison = EndToEndComparison(session=session)
         comparison.compare([LENGTHS[0], LENGTHS[1]])
         # Eight system profiles x two lengths, but only one GPU simulation
         # per (gpu, length) pair thanks to the session memo.
@@ -328,6 +333,20 @@ class TestEndToEndCaching:
         session = SimulationSession(ppm_config=config)
         spec = LightNobelConfig(num_rmpus=8)
         assert session.backend(spec) is session.backend(spec)
+
+    def test_digest_shared_memo_relabels_per_registration(self, config):
+        # Regression: two names bound to the same configuration share one
+        # digest-keyed memo entry, but each returned report must carry the
+        # name the caller asked for (serving stats bucket by report.backend).
+        session = SimulationSession(ppm_config=config, use_disk_cache=False)
+        default = session.simulate(LENGTHS[0], backend="lightnobel")
+        session.add_backend(AcceleratorVariant(), name="ln-alias")
+        alias = session.simulate(LENGTHS[0], backend="ln-alias")
+        assert default.backend == "lightnobel"
+        assert alias.backend == "ln-alias"
+        assert alias.total_seconds == default.total_seconds
+        assert session.peek_report("ln-alias", LENGTHS[0]).backend == "ln-alias"
+        assert session.peek_report("lightnobel", LENGTHS[0]).backend == "lightnobel"
 
     def test_accelerator_variant_memo_isolation(self, config):
         session = SimulationSession(ppm_config=config)
