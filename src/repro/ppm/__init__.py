@@ -12,6 +12,12 @@ from .activation_tap import (
     summarize_activation,
 )
 from .attention import OuterProductMean, SequenceAttention
+from .chunking import (
+    blockwise_attention,
+    context_observes_taps,
+    iter_chunks,
+    streaming_attention,
+)
 from .config import PPMConfig
 from .embedding import EmbeddingOutput, InputEmbedding, StructurePrior
 from .folding_block import FoldingBlock, FoldingTrunk, TrunkOutput
@@ -64,10 +70,13 @@ __all__ = [
     "TriangleAttention",
     "TriangleMultiplication",
     "TrunkOutput",
+    "blockwise_attention",
     "clear_workload_caches",
+    "context_observes_taps",
     "gelu",
     "get_op_table",
     "get_workload",
+    "iter_chunks",
     "layer_norm",
     "mds_embedding",
     "mean_torsion_sign",
@@ -75,6 +84,7 @@ __all__ = [
     "resolve_chirality",
     "sigmoid",
     "softmax",
+    "streaming_attention",
     "stress_refinement",
     "summarize_activation",
     "workload_cache_info",

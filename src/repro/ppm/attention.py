@@ -14,16 +14,25 @@ from __future__ import annotations
 import numpy as np
 
 from .activation_tap import GROUP_C, ActivationContext, NULL_CONTEXT
+from .chunking import iter_chunks
 from .config import PPMConfig
 from .functional import sigmoid, softmax
 from .modules import LayerNorm, Linear, Module
 
 
 class SequenceAttention(Module):
-    """Self-attention over the sequence representation with an additive pair bias."""
+    """Self-attention over the sequence representation with an additive pair bias.
+
+    Honors ``PPMConfig.attn_chunk_size``: when set, attention is evaluated in
+    query blocks (each against the full key axis — the score matrix is only
+    (H, Ns, Ns) here, so the blocks exist for uniformity with the triangular
+    stack, not out of memory pressure).  ``None`` keeps the dense path
+    bit-for-bit.
+    """
 
     def __init__(self, config: PPMConfig, rng: np.random.Generator, name: str = "sequence_attention") -> None:
         super().__init__(name)
+        self.chunk_size = config.attn_chunk_size
         self.num_heads = config.seq_num_heads
         if config.seq_dim % self.num_heads != 0:
             raise ValueError("seq_dim must be divisible by seq_num_heads")
@@ -53,9 +62,17 @@ class SequenceAttention(Module):
         bias = ctx.process(f"{self.name}.pair_bias", GROUP_C, bias)
         bias = bias.transpose(2, 0, 1)                          # (H, Ns, Ns)
 
-        scores = np.einsum("qhd,khd->hqk", q, k) / np.sqrt(self.head_dim)
-        weights = softmax(scores + bias, axis=-1)
-        attended = np.einsum("hqk,khd->qhd", weights, v).reshape(sequence.shape[0], -1)
+        if self.chunk_size is None:
+            scores = np.einsum("qhd,khd->hqk", q, k) / np.sqrt(self.head_dim)
+            weights = softmax(scores + bias, axis=-1)
+            attended = np.einsum("hqk,khd->qhd", weights, v)
+        else:
+            attended = np.empty_like(q)
+            for qs in iter_chunks(q.shape[0], self.chunk_size):
+                scores = np.einsum("qhd,khd->hqk", q[qs], k) / np.sqrt(self.head_dim)
+                weights = softmax(scores + bias[:, qs, :], axis=-1)
+                attended[qs] = np.einsum("hqk,khd->qhd", weights, v)
+        attended = attended.reshape(sequence.shape[0], -1)
 
         gate = sigmoid(self.linear_g(normalized))
         return self.linear_o(attended * gate)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 from .._digest import config_digest as _config_digest
 
@@ -17,6 +18,14 @@ class PPMConfig:
     models; configurations actually executed numerically (accuracy
     experiments, unit tests) use the reduced ``small()``/``tiny()`` variants,
     which preserve the dataflow graph and relative tensor shapes.
+
+    ``attn_chunk_size`` / ``triangle_chunk_size`` opt the numeric substrate
+    into blockwise execution of the pair stack (FlashAttention-style query
+    blocks with a streaming softmax, and a tiled third-axis contraction in
+    triangular multiplication).  ``None`` — the default — preserves the dense
+    execution paths bit-for-bit; setting them changes peak activation memory
+    only, never the operator graph or any reported number (dense ≡ chunked is
+    asserted at the repo-wide 1e-9 parity bar).
     """
 
     pair_dim: int = 128            # Hz: hidden dim of the Pair Representation
@@ -34,10 +43,22 @@ class PPMConfig:
     weight_bytes: float = 2.0      # bytes per weight element (FP16 baseline)
     activation_bytes: float = 2.0  # bytes per activation element (FP16 baseline)
     language_model_params: float = 3.0e9  # ESM-2 3B input-embedding model
+    #: Query-block size of chunked (triangular + sequence) attention;
+    #: None executes the dense paths unchanged.
+    attn_chunk_size: Optional[int] = None
+    #: Tile size of the third-axis contraction in triangular multiplication;
+    #: None executes the dense einsum unchanged.
+    triangle_chunk_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.pair_dim <= 0 or self.seq_dim <= 0 or self.num_blocks <= 0:
             raise ValueError("dimensions and block count must be positive")
+        for knob in ("attn_chunk_size", "triangle_chunk_size"):
+            value = getattr(self, knob)
+            if value is None:
+                continue
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise ValueError(f"{knob} must be a positive integer or None")
         if self.num_heads * self.head_dim > 4 * self.pair_dim:
             raise ValueError("attention width is unreasonably large for the pair dim")
         if self.distogram_channels > self.pair_dim:
@@ -97,6 +118,27 @@ class PPMConfig:
     def with_recycles(self, num_recycles: int) -> "PPMConfig":
         """Copy of this configuration with a different recycling count."""
         return replace(self, num_recycles=num_recycles)
+
+    def with_chunking(
+        self,
+        attn_chunk_size: Optional[int] = None,
+        triangle_chunk_size: Optional[int] = None,
+    ) -> "PPMConfig":
+        """Copy of this configuration with the given chunked-execution knobs.
+
+        Passing ``None`` for a knob disables that chunking axis, so
+        ``config.with_chunking()`` returns a fully dense copy.
+        """
+        return replace(
+            self,
+            attn_chunk_size=attn_chunk_size,
+            triangle_chunk_size=triangle_chunk_size,
+        )
+
+    @property
+    def is_chunked(self) -> bool:
+        """Whether any blockwise execution path is enabled."""
+        return self.attn_chunk_size is not None or self.triangle_chunk_size is not None
 
     @property
     def attention_dim(self) -> int:

@@ -13,6 +13,14 @@ target of AAQ.  The implementation mirrors the ESMFold/AlphaFold2 pair stack:
 Every activation the paper quantizes is routed through the activation context
 with its group label (A: residual-stream/pre-LayerNorm, B: post-LayerNorm,
 C: post-linear intermediates).
+
+Both blocks support opt-in blockwise execution (``PPMConfig.attn_chunk_size``
+/ ``triangle_chunk_size``): triangular attention evaluates query blocks with
+a streaming max/denominator softmax so the (N, N, N, heads) score tensor is
+never materialized, and triangular multiplication tiles its third-axis
+contraction.  ``None`` (the default) keeps the dense paths bit-for-bit; the
+chunked paths fire the same tap names with the same group labels and agree
+with dense at the repo-wide 1e-9 parity bar.
 """
 
 from __future__ import annotations
@@ -20,6 +28,12 @@ from __future__ import annotations
 import numpy as np
 
 from .activation_tap import GROUP_A, GROUP_B, GROUP_C, ActivationContext, NULL_CONTEXT
+from .chunking import (
+    blockwise_attention,
+    context_observes_taps,
+    iter_chunks,
+    streaming_attention,
+)
 from .config import PPMConfig
 from .functional import sigmoid, softmax
 from .modules import LayerNorm, Linear, Module
@@ -39,6 +53,7 @@ class TriangleMultiplication(Module):
         if mode not in ("outgoing", "incoming"):
             raise ValueError("mode must be 'outgoing' or 'incoming'")
         self.mode = mode
+        self.chunk_size = config.triangle_chunk_size
         pair_dim = config.pair_dim
         hidden = config.triangle_hidden
         self.layer_norm_in = self.register_child("layer_norm_in", LayerNorm(pair_dim, "layer_norm_in"))
@@ -56,6 +71,31 @@ class TriangleMultiplication(Module):
             "linear_g", Linear(pair_dim, pair_dim, rng, "linear_g", init="gating")
         )
 
+    def _contract(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Third-axis contraction, tiled over ``triangle_chunk_size`` edges.
+
+        Dense (``chunk_size is None``) keeps the single einsum of the seed
+        implementation; the tiled path accumulates the same per-element sums
+        chunk by chunk in ascending edge order.
+        """
+        if self.mode == "outgoing":
+            # product over k of a[i, k] * b[j, k]
+            if self.chunk_size is None:
+                return np.einsum("ikc,jkc->ijc", a, b)
+            edges = a.shape[1]
+            combined = np.zeros((a.shape[0], b.shape[0], a.shape[2]), dtype=a.dtype)
+            for ks in iter_chunks(edges, self.chunk_size):
+                combined += np.einsum("ikc,jkc->ijc", a[:, ks], b[:, ks])
+            return combined
+        # product over k of a[k, i] * b[k, j]
+        if self.chunk_size is None:
+            return np.einsum("kic,kjc->ijc", a, b)
+        edges = a.shape[0]
+        combined = np.zeros((a.shape[1], b.shape[1], a.shape[2]), dtype=a.dtype)
+        for ks in iter_chunks(edges, self.chunk_size):
+            combined += np.einsum("kic,kjc->ijc", a[ks], b[ks])
+        return combined
+
     def forward(self, pair: np.ndarray, ctx: ActivationContext = NULL_CONTEXT) -> np.ndarray:
         """Return the residual update for the pair representation (Ns, Ns, Hz)."""
         tag = f"{self.name}.{self.mode}"
@@ -68,12 +108,7 @@ class TriangleMultiplication(Module):
         a = ctx.process(f"{tag}.proj_a", GROUP_C, a)
         b = ctx.process(f"{tag}.proj_b", GROUP_C, b)
 
-        if self.mode == "outgoing":
-            # product over k of a[i, k] * b[j, k]
-            combined = np.einsum("ikc,jkc->ijc", a, b)
-        else:
-            # product over k of a[k, i] * b[k, j]
-            combined = np.einsum("kic,kjc->ijc", a, b)
+        combined = self._contract(a, b)
         combined = combined / np.sqrt(a.shape[-2])
         combined = ctx.process(f"{tag}.matmul", GROUP_A, combined)
 
@@ -101,6 +136,7 @@ class TriangleAttention(Module):
         if mode not in ("starting", "ending"):
             raise ValueError("mode must be 'starting' or 'ending'")
         self.mode = mode
+        self.chunk_size = config.attn_chunk_size
         self.num_heads = config.num_heads
         self.head_dim = config.head_dim
         pair_dim = config.pair_dim
@@ -143,12 +179,34 @@ class TriangleAttention(Module):
         bias = ctx.process(f"{tag}.bias", GROUP_C, bias)
         bias = bias.transpose(2, 0, 1)                 # (H, Ns, Ns)
 
-        scores = np.einsum("ihqd,ihkd->ihqk", q, k) / np.sqrt(self.head_dim)
-        scores = scores + bias[None, :, :, :]
-        weights = softmax(scores, axis=-1)
-        weights = ctx.process(f"{tag}.attention_weights", GROUP_C, weights)
-
-        attended = np.einsum("ihqk,ihkd->ihqd", weights, v)
+        if self.chunk_size is None:
+            scores = np.einsum("ihqd,ihkd->ihqk", q, k) / np.sqrt(self.head_dim)
+            scores = scores + bias[None, :, :, :]
+            weights = softmax(scores, axis=-1)
+            weights = ctx.process(f"{tag}.attention_weights", GROUP_C, weights)
+            attended = np.einsum("ihqk,ihkd->ihqd", weights, v)
+        elif context_observes_taps(ctx):
+            # The context must see the normalized weights: evaluate query
+            # blocks with the full key axis so each `attention_weights` tap
+            # carries complete per-token vectors (chunk-invariant transforms).
+            attended = blockwise_attention(
+                q, k, v, bias,
+                scale_divisor=np.sqrt(self.head_dim),
+                query_chunk=self.chunk_size,
+                ctx=ctx,
+                weights_tap=f"{tag}.attention_weights",
+                weights_group=GROUP_C,
+            )
+        else:
+            # No observer: stream both query and key tiles through the online
+            # max/denominator softmax; no score tile larger than
+            # (Ns, H, chunk, chunk) ever exists.
+            attended = streaming_attention(
+                q, k, v, bias=bias,
+                scale=1.0 / np.sqrt(self.head_dim),
+                query_chunk=self.chunk_size,
+                key_chunk=self.chunk_size,
+            )
         attended = attended.transpose(0, 2, 1, 3).reshape(pair.shape[0], pair.shape[1], -1)
         attended = ctx.process(f"{tag}.attended", GROUP_C, attended)
 

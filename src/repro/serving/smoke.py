@@ -14,6 +14,7 @@ import tempfile
 
 from ..hardware.config import LightNobelConfig
 from ..ppm.config import PPMConfig
+from ..sim.cache import sandbox_cache_dir
 from ..sim.session import SimulationSession
 from .api import LatencyRequest
 from .service import LatencyService
@@ -30,49 +31,58 @@ def main() -> int:
     requests = requests + requests
 
     with tempfile.TemporaryDirectory(prefix="repro-serving-smoke-") as cache_dir:
-        # Stage the whole batch before starting the dispatcher so every
-        # duplicate is deterministically in-flight together — otherwise a
-        # fast dispatcher could fulfill a key before its duplicate arrives
-        # (a memo hit, not coalescing) and flake the assertion below.
-        service = LatencyService(
-            ppm_config=config, workers=2, cache_dir=cache_dir, autostart=False
-        )
-        tickets = service.submit_batch(requests)
-        with service:
-            responses = [service.result(t, timeout=120.0) for t in tickets]
-            report = service.capacity_report()
+        # Sandbox every cache write in the throwaway directory, as the test
+        # suite's conftest does: the env var covers the pooled sweep workers
+        # (which inherit the environment) and the reference session in _run,
+        # which would otherwise write into the CI runner's workspace/home.
+        with sandbox_cache_dir(cache_dir):
+            return _run(config, requests, cache_dir)
 
-        reference = SimulationSession(ppm_config=config)
-        for response in responses:
-            response.raise_for_error()
-            direct = reference.simulate(
-                response.request.sequence_length, backend=response.request.backend
-            )
-            if response.report.total_seconds != direct.total_seconds:
-                print(
-                    f"FAIL: served {response.request} diverged from direct session",
-                    file=sys.stderr,
-                )
-                return 1
+
+def _run(config: PPMConfig, requests, cache_dir: str) -> int:
+    # Stage the whole batch before starting the dispatcher so every
+    # duplicate is deterministically in-flight together — otherwise a
+    # fast dispatcher could fulfill a key before its duplicate arrives
+    # (a memo hit, not coalescing) and flake the assertion below.
+    service = LatencyService(
+        ppm_config=config, workers=2, cache_dir=cache_dir, autostart=False
+    )
+    tickets = service.submit_batch(requests)
+    with service:
+        responses = [service.result(t, timeout=120.0) for t in tickets]
+        report = service.capacity_report()
+
+    reference = SimulationSession(ppm_config=config)
+    for response in responses:
+        response.raise_for_error()
+        direct = reference.simulate(
+            response.request.sequence_length, backend=response.request.backend
+        )
+        if response.report.total_seconds != direct.total_seconds:
             print(
-                f"serve[{response.report.backend}, n={response.request.sequence_length}]"
-                f" {response.report.total_seconds * 1e3:.3f} ms"
-                f" (coalesced={response.coalesced},"
-                f" service={response.service_seconds * 1e3:.1f} ms)"
+                f"FAIL: served {response.request} diverged from direct session",
+                file=sys.stderr,
             )
-
-        unique = len({(r.backend if isinstance(r.backend, str) else "cfg", r.sequence_length) for r in requests})
+            return 1
         print(
-            f"capacity: {report.completed} served, {report.coalesced} coalesced, "
-            f"{report.simulations} simulations, hit_rate={report.hit_rate:.2f}, "
-            f"{report.queries_per_second:.0f} q/s sustained"
+            f"serve[{response.report.backend}, n={response.request.sequence_length}]"
+            f" {response.report.total_seconds * 1e3:.3f} ms"
+            f" (coalesced={response.coalesced},"
+            f" service={response.service_seconds * 1e3:.1f} ms)"
         )
-        if report.coalesced < len(requests) - unique:
-            print("FAIL: duplicate in-flight requests did not coalesce", file=sys.stderr)
-            return 1
-        if report.errors:
-            print("FAIL: service reported errors", file=sys.stderr)
-            return 1
+
+    unique = len({(r.backend if isinstance(r.backend, str) else "cfg", r.sequence_length) for r in requests})
+    print(
+        f"capacity: {report.completed} served, {report.coalesced} coalesced, "
+        f"{report.simulations} simulations, hit_rate={report.hit_rate:.2f}, "
+        f"{report.queries_per_second:.0f} q/s sustained"
+    )
+    if report.coalesced < len(requests) - unique:
+        print("FAIL: duplicate in-flight requests did not coalesce", file=sys.stderr)
+        return 1
+    if report.errors:
+        print("FAIL: service reported errors", file=sys.stderr)
+        return 1
     print("smoke ok: 2-worker LatencyService batch + coalescing + parity")
     return 0
 

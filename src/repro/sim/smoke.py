@@ -13,6 +13,7 @@ import tempfile
 
 from ..hardware.config import LightNobelConfig
 from ..ppm.config import PPMConfig
+from .cache import sandbox_cache_dir
 from .session import SimulationSession
 from .sweep import SweepPoint, sweep
 
@@ -21,30 +22,35 @@ def main() -> int:
     config = PPMConfig.tiny()
     lengths = (24, 48)
 
+    # Sandbox every cache write — the direct session, the serial sweep, and
+    # the process-pool sweep workers — in one throwaway directory, exactly as
+    # the test suite's conftest does.  Without this the sweeps below would
+    # write cache state into the CI runner's workspace/home.
     with tempfile.TemporaryDirectory(prefix="repro-sim-smoke-") as cache_dir:
-        session = SimulationSession(ppm_config=config, cache_dir=cache_dir)
-        batch = session.simulate_batch(lengths, backends=["lightnobel", "h100", "h100-chunk"])
-        for name in batch.backends:
-            totals = ", ".join(f"{t * 1e3:.3f} ms" for t in batch.totals(name))
-            print(f"simulate_batch[{name}]: {totals}")
-        print(f"session stats: {session.stats()}")
+        with sandbox_cache_dir(cache_dir):
+            session = SimulationSession(ppm_config=config, cache_dir=cache_dir)
+            batch = session.simulate_batch(lengths, backends=["lightnobel", "h100", "h100-chunk"])
+            for name in batch.backends:
+                totals = ", ".join(f"{t * 1e3:.3f} ms" for t in batch.totals(name))
+                print(f"simulate_batch[{name}]: {totals}")
+            print(f"session stats: {session.stats()}")
 
-    points = [
-        SweepPoint(LightNobelConfig(num_rmpus=rmpus), n)
-        for rmpus in (8, 32)
-        for n in lengths
-    ]
-    sharded = sweep(points, ppm_config=config, workers=2)
-    serial = sweep(points, ppm_config=config, workers=None)
-    for point, fast, slow in zip(points, sharded, serial):
-        print(
-            f"sweep[rmpus={point.backend.num_rmpus}, n={point.sequence_length}]: "
-            f"{fast.total_seconds * 1e3:.3f} ms"
-        )
-        if fast.total_seconds != slow.total_seconds:
-            print("FAIL: sharded sweep diverged from serial sweep", file=sys.stderr)
-            return 1
-    print("smoke ok: batch + sharded sweep (2 workers) + disk cache")
+            points = [
+                SweepPoint(LightNobelConfig(num_rmpus=rmpus), n)
+                for rmpus in (8, 32)
+                for n in lengths
+            ]
+            sharded = sweep(points, ppm_config=config, workers=2)
+            serial = sweep(points, ppm_config=config, workers=None)
+            for point, fast, slow in zip(points, sharded, serial):
+                print(
+                    f"sweep[rmpus={point.backend.num_rmpus}, n={point.sequence_length}]: "
+                    f"{fast.total_seconds * 1e3:.3f} ms"
+                )
+                if fast.total_seconds != slow.total_seconds:
+                    print("FAIL: sharded sweep diverged from serial sweep", file=sys.stderr)
+                    return 1
+    print("smoke ok: batch + sharded sweep (2 workers) + sandboxed disk cache")
     return 0
 
 

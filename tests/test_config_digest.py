@@ -13,6 +13,8 @@ from repro.ppm import PPMConfig
 
 def perturb(value):
     """A different-but-valid value of the same type."""
+    if value is None:
+        return 2  # Optional[int] knobs (chunk sizes): any positive int differs
     if isinstance(value, bool):
         return not value
     if isinstance(value, int):

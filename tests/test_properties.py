@@ -132,9 +132,12 @@ def test_softmax_rows_are_distributions(x):
 #: entry, so a change in the canonical serialization (field order, float
 #: formatting, dataclass handling) must show up here, not as silently
 #: mismatched cache keys.  Regenerate deliberately via ``config_digest()``.
+#: PPMConfig digests re-pinned in PR 4: the chunked-execution knobs
+#: (attn_chunk_size/triangle_chunk_size) are new fields, and new fields must
+#: move the digest so stale cached tables/reports self-invalidate.
 PINNED_DIGESTS = {
-    "PPMConfig.paper": (PPMConfig.paper, "76c31c429cf4c857"),
-    "PPMConfig.tiny": (PPMConfig.tiny, "dc9f905cb9b0bce4"),
+    "PPMConfig.paper": (PPMConfig.paper, "cfae6b1b13d8def6"),
+    "PPMConfig.tiny": (PPMConfig.tiny, "94e7609b01b1dfea"),
     "LightNobelConfig": (LightNobelConfig, "5a8efafda3dbc9fb"),
     "GPUSpec.H100": (lambda: get_gpu("H100"), "aede25983e2495e2"),
     "AAQConfig.paper_optimal": (AAQConfig.paper_optimal, "a9d0d690670a8fff"),
@@ -226,3 +229,73 @@ def test_packed_to_tokens_from_tokens_is_lossless(values, bits, outliers):
     assert np.array_equal(rebuilt.scales, packed.scales)
     assert np.array_equal(rebuilt.outlier_scales, packed.outlier_scales)
     assert np.array_equal(rebuilt.unpack(), packed.unpack())
+
+
+# --------------------------------------------------------------------------
+# Chunked (blockwise) pair-stack execution: dense ≡ chunked on random shapes.
+
+
+#: Micro folding-trunk configuration: large enough to exercise multi-head
+#: attention and the triangular contraction, small enough that hypothesis can
+#: afford fresh modules per example.
+_MICRO_PPM = PPMConfig(
+    pair_dim=8,
+    seq_dim=12,
+    num_blocks=1,
+    num_heads=2,
+    head_dim=4,
+    triangle_hidden=8,
+    transition_factor=2,
+    seq_num_heads=2,
+    distogram_channels=4,
+)
+
+
+@st.composite
+def chunked_pair_cases(draw):
+    """(pair tensor, chunk size, weight seed) with ragged and >=N chunkings."""
+    n = draw(st.integers(min_value=2, max_value=12))
+    chunk = draw(st.integers(min_value=1, max_value=16))  # ragged + chunk >= n
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    pair = draw(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=(n, n, _MICRO_PPM.pair_dim),
+            elements=st.floats(
+                min_value=-8.0, max_value=8.0, allow_nan=False, allow_infinity=False
+            ),
+        )
+    )
+    return pair, chunk, seed
+
+
+@given(chunked_pair_cases(), st.sampled_from(["starting", "ending"]))
+@settings(max_examples=25, deadline=None)
+def test_chunked_triangle_attention_agrees_with_dense(case, mode):
+    """Dense ≡ chunked TriangleAttention ≤ 1e-9 on arbitrary shapes/chunkings."""
+    from repro.ppm import TriangleAttention
+
+    pair, chunk, seed = case
+    dense = TriangleAttention(_MICRO_PPM, np.random.default_rng(seed), mode=mode)
+    tiled = TriangleAttention(
+        _MICRO_PPM.with_chunking(attn_chunk_size=chunk),
+        np.random.default_rng(seed),
+        mode=mode,
+    )
+    np.testing.assert_allclose(tiled(pair), dense(pair), rtol=0, atol=1e-9)
+
+
+@given(chunked_pair_cases(), st.sampled_from(["outgoing", "incoming"]))
+@settings(max_examples=25, deadline=None)
+def test_chunked_triangle_multiplication_agrees_with_dense(case, mode):
+    """Dense ≡ chunked TriangleMultiplication ≤ 1e-9, tiled third-axis sums."""
+    from repro.ppm import TriangleMultiplication
+
+    pair, chunk, seed = case
+    dense = TriangleMultiplication(_MICRO_PPM, np.random.default_rng(seed), mode=mode)
+    tiled = TriangleMultiplication(
+        _MICRO_PPM.with_chunking(triangle_chunk_size=chunk),
+        np.random.default_rng(seed),
+        mode=mode,
+    )
+    np.testing.assert_allclose(tiled(pair), dense(pair), rtol=0, atol=1e-9)
