@@ -1,0 +1,96 @@
+"""Perf: discrete-event replay throughput of the cluster simulator.
+
+Replays a 4,000-request bursty trace against a 6-worker fleet under FIFO and
+EDF and measures *replay* events/second — the pure-Python event loop that
+every planner grid cell pays, with the service-time prefetch done once up
+front (the prefetch cost is the sim layer's business and is guarded by
+``bench_perf_simulator.py``/``bench_serving.py``).  Guards a conservative
+floor so a regression in the event loop (accidental O(n^2) queue handling,
+per-event simulator calls) fails CI rather than silently making capacity
+planning 100x slower.
+"""
+
+import time
+
+from conftest import print_table
+
+from repro.cluster import (
+    FleetSpec,
+    SLOPolicy,
+    bursty_trace,
+    mixture_lengths,
+    prefetch_service_times,
+    replay_trace,
+)
+from repro.ppm import PPMConfig
+from repro.sim import SimulationSession
+
+NUM_REQUESTS = 4000
+FLEET_SIZE = 6
+POLICIES = ("fifo", "edf")
+
+#: Conservative floor for replayed events/second (two events per request).
+#: The loop sustains well over 100k events/s on developer hardware; the
+#: guard fires only on an order-of-magnitude regression.
+MIN_EVENTS_PER_SECOND = 10_000.0
+
+
+def build_inputs():
+    pool, weights = mixture_lengths([(32, 0.6), (96, 0.25), (160, 0.15)])
+    trace = bursty_trace(
+        rate_rps=500.0,
+        num_requests=NUM_REQUESTS,
+        length_pool=pool,
+        length_weights=weights,
+        slo=SLOPolicy(base_seconds=0.035, per_residue_seconds=2.0e-4),
+        seed=11,
+    )
+    fleet = FleetSpec.homogeneous("h100-chunk", FLEET_SIZE)
+    session = SimulationSession(ppm_config=PPMConfig.tiny(), use_disk_cache=False)
+    times = prefetch_service_times(trace, fleet, session=session)
+    return trace, fleet, times
+
+
+def test_cluster_replay_throughput(benchmark):
+    trace, fleet, times = build_inputs()
+
+    def replay_all():
+        results = {}
+        for policy in POLICIES:
+            start = time.perf_counter()
+            report = replay_trace(
+                trace,
+                fleet,
+                scheduler=policy,
+                service_times=times,
+                same_length_reuse_discount=0.25,
+            )
+            elapsed = time.perf_counter() - start
+            results[policy] = (report, report.events_processed / elapsed)
+        return results
+
+    results = benchmark.pedantic(replay_all, rounds=1, iterations=1)
+
+    rows = [("policy", "events", "events/s", "p99 (ms)", "SLO", "util")]
+    for policy, (report, eps) in results.items():
+        rows.append(
+            (
+                policy,
+                report.events_processed,
+                f"{eps:10.0f}",
+                f"{report.p99_latency_seconds * 1e3:7.2f}",
+                f"{report.slo_attainment:.3f}",
+                f"{report.utilization['h100-chunk']:.3f}",
+            )
+        )
+    print_table(
+        f"Cluster replay throughput ({NUM_REQUESTS} requests, {FLEET_SIZE} workers)",
+        rows,
+    )
+
+    for policy, (report, eps) in results.items():
+        assert report.completed == NUM_REQUESTS
+        assert eps >= MIN_EVENTS_PER_SECOND, (
+            f"{policy} replay throughput regressed: {eps:.0f} events/s "
+            f"< {MIN_EVENTS_PER_SECOND:.0f}"
+        )

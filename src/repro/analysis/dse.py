@@ -2,18 +2,24 @@
 
 from __future__ import annotations
 
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, TYPE_CHECKING
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 import numpy as np
 
-if TYPE_CHECKING:  # service routing is optional; avoid an import at runtime
+if TYPE_CHECKING:  # optional routing targets; avoid imports at runtime
+    from ..cluster.planner import CapacityPlan
+    from ..cluster.trace import RequestTrace
     from ..serving.service import LatencyService
 
 from ..core.aaq import AAQConfig
 from ..core.token_quant import TokenQuantConfig, token_quantization_rmse
 from ..hardware.config import LightNobelConfig
 from ..sim import SweepPoint, sweep
+from ..sim.sweep import resolve_workers
 from ..ppm.config import PPMConfig
 from ..ppm.model import ProteinStructureModel
 from ..ppm.quantized import AAQScheme, QuantizedPPM
@@ -55,6 +61,52 @@ def efficiency_metric(tm: float, baseline_tm: float, bytes_per_token: float, hid
     return compression * penalty / 10.0
 
 
+#: Per-worker-process model memo for the sharded Fig. 11 sweep, keyed by
+#: (PPM config digest, seed).  Bounded FIFO like the sweep worker sessions.
+_QDSE_WORKER_MODELS: Dict[Tuple[str, int], ProteinStructureModel] = {}
+_QDSE_WORKER_MODEL_LIMIT = 4
+
+
+def _qdse_worker_model(ppm_config: PPMConfig, seed: int) -> ProteinStructureModel:
+    key = (ppm_config.config_digest(), int(seed))
+    model = _QDSE_WORKER_MODELS.get(key)
+    if model is None:
+        while len(_QDSE_WORKER_MODELS) >= _QDSE_WORKER_MODEL_LIMIT:
+            _QDSE_WORKER_MODELS.pop(next(iter(_QDSE_WORKER_MODELS)))
+        model = ProteinStructureModel(ppm_config, seed=seed)
+        _QDSE_WORKER_MODELS[key] = model
+    return model
+
+
+#: Sweep context installed once per worker process by the pool initializer —
+#: the targets (coordinate arrays) and config ship once per worker, not once
+#: per grid point.
+_QDSE_WORKER_CONTEXT: Dict[str, Tuple[PPMConfig, int, List[ProteinStructure]]] = {}
+
+
+def _qdse_worker_init(
+    ppm_config: PPMConfig, seed: int, targets: List[ProteinStructure]
+) -> None:
+    _QDSE_WORKER_CONTEXT["sweep"] = (ppm_config, seed, targets)
+
+
+def _qdse_point_tm(aaq: AAQConfig) -> float:
+    """Average TM-score of one AAQ configuration (runs in a pool worker).
+
+    Model construction is seed-deterministic, so a worker's rebuilt model is
+    bit-identical to the parent's and pooled ≡ serial holds exactly.
+    """
+    ppm_config, seed, targets = _QDSE_WORKER_CONTEXT["sweep"]
+    model = _qdse_worker_model(ppm_config, seed)
+    scheme = AAQScheme(aaq)
+    quantized = QuantizedPPM(model, scheme)
+    scores = [
+        tm_score_structures(quantized.predict(target).structure, target)
+        for target in targets
+    ]
+    return float(np.mean(scores))
+
+
 class QuantizationDSE:
     """Fig. 11: sweep inlier precision and outlier count per activation group."""
 
@@ -69,6 +121,7 @@ class QuantizationDSE:
             raise ValueError("at least one target protein is required")
         self.targets = targets
         self.ppm_config = config or PPMConfig.small()
+        self.seed = int(seed)
         self.model = ProteinStructureModel(self.ppm_config, seed=seed)
         self.base_config = base_config or AAQConfig.paper_optimal()
         self.baseline_tm = self._average_tm(None)
@@ -84,32 +137,74 @@ class QuantizationDSE:
             scores.append(tm_score_structures(prediction.structure, target))
         return float(np.mean(scores))
 
+    def _tm_scores(
+        self, aaqs: List[AAQConfig], workers: Optional[int]
+    ) -> List[float]:
+        """TM-scores for many AAQ configs, optionally sharded across a pool.
+
+        Model inference per point dominates the Fig. 11 sweep, so the points
+        shard the same way :func:`hardware_dse` shards latency points: a
+        process pool with the sweep module's degrade-to-serial contract, and
+        pooled ≡ serial results exactly (asserted by ``tests/test_analysis.py``).
+        """
+        workers = resolve_workers(workers)
+        if workers is not None and workers > 1 and len(aaqs) > 1:
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_qdse_worker_init,
+                    initargs=(self.ppm_config, self.seed, self.targets),
+                ) as pool:
+                    return list(pool.map(_qdse_point_tm, aaqs))
+            except (
+                BrokenProcessPool,
+                pickle.PicklingError,
+                TypeError,
+                AttributeError,
+                OSError,
+                ImportError,
+                NotImplementedError,
+            ):
+                pass  # same fallback taxonomy as repro.sim.sweep.sweep
+        return [self._average_tm(aaq) for aaq in aaqs]
+
     def sweep_group(
         self,
         group: str,
         outlier_counts: Iterable[int] = OUTLIER_SWEEP,
         precisions: Iterable[int] = PRECISION_SWEEP,
+        workers: Optional[int] = None,
     ) -> List[QuantDSEPoint]:
-        """Sweep one group's scheme while the other groups keep the base config."""
+        """Sweep one group's scheme while the other groups keep the base config.
+
+        ``workers > 1`` shards the grid's model inferences across a process
+        pool (serial otherwise, identical numbers either way).
+        """
         hidden = self.ppm_config.pair_dim
-        points: List[QuantDSEPoint] = []
+        grid: List[Tuple[int, int, TokenQuantConfig]] = []
         for bits in precisions:
             for outliers in outlier_counts:
                 outliers_clamped = min(outliers, hidden)
                 candidate = TokenQuantConfig(inlier_bits=bits, outlier_count=outliers_clamped)
-                aaq = self.base_config.replace_group(group, candidate)
-                tm = self._average_tm(aaq)
-                bytes_per_token = candidate.bytes_per_token(hidden)
-                points.append(
-                    QuantDSEPoint(
-                        group=group,
-                        inlier_bits=bits,
-                        outlier_count=outliers_clamped,
-                        tm_score=tm,
-                        bytes_per_token=bytes_per_token,
-                        efficiency=efficiency_metric(tm, self.baseline_tm, bytes_per_token, hidden),
-                    )
+                grid.append((bits, outliers_clamped, candidate))
+        aaqs = [
+            self.base_config.replace_group(group, candidate)
+            for _, _, candidate in grid
+        ]
+        tms = self._tm_scores(aaqs, workers)
+        points: List[QuantDSEPoint] = []
+        for (bits, outliers_clamped, candidate), tm in zip(grid, tms):
+            bytes_per_token = candidate.bytes_per_token(hidden)
+            points.append(
+                QuantDSEPoint(
+                    group=group,
+                    inlier_bits=bits,
+                    outlier_count=outliers_clamped,
+                    tm_score=tm,
+                    bytes_per_token=bytes_per_token,
+                    efficiency=efficiency_metric(tm, self.baseline_tm, bytes_per_token, hidden),
                 )
+            )
         return points
 
     @staticmethod
@@ -226,6 +321,44 @@ def hardware_dse(
         for i, hw in enumerate(rmpu_configs)
     ]
     return {"vvpu_sweep": vvpu_sweep, "rmpu_sweep": rmpu_sweep}
+
+
+# ------------------------------------------------------------- cluster DSE
+def cluster_capacity_dse(
+    trace: "RequestTrace",
+    backend: object = "lightnobel",
+    fleet_sizes: Sequence[int] = (1, 2, 4, 8),
+    policies: Sequence[str] = ("fifo", "edf"),
+    slo_target: float = 0.95,
+    config: Optional[PPMConfig] = None,
+    workers: Optional[int] = None,
+    service: Optional["LatencyService"] = None,
+    same_length_reuse_discount: float = 0.0,
+) -> "CapacityPlan":
+    """Fleet-level DSE: smallest fleet of ``backend`` workers meeting an SLO.
+
+    The design-space axis here is the *fleet* (size x scheduling policy)
+    rather than the chip (Fig. 12's RMPU/VVPU counts): the trace replays
+    against every grid cell via :func:`repro.cluster.planner.plan_capacity`,
+    sharing one service-time prefetch (sharded across the sweep pool with
+    ``workers > 1``, or routed through ``service=``).  Returns the
+    :class:`~repro.cluster.planner.CapacityPlan`, whose ``minimal_fleet()`` /
+    ``cheapest_plan()`` answer the capacity question directly.
+    """
+    from ..cluster.fleet import FleetSpec  # local: analysis must stay importable
+    from ..cluster.planner import plan_capacity  # without the cluster package
+
+    return plan_capacity(
+        trace,
+        base_fleet=FleetSpec.homogeneous(backend, 1),
+        fleet_sizes=fleet_sizes,
+        policies=policies,
+        slo_target=slo_target,
+        ppm_config=config,
+        service=service,
+        workers=workers,
+        same_length_reuse_discount=same_length_reuse_discount,
+    )
 
 
 def saturation_point(points: List[HardwareDSEPoint], axis: str, threshold: float = 0.10) -> int:

@@ -1,0 +1,111 @@
+"""Trace-driven cluster simulation: fleets, scheduling policies, SLO planning.
+
+The fourth layer of the simulation stack: PR 1 made one simulation cheap
+(columnar engine), PR 2 made repeated simulations cheap (sessions, sweeps,
+disk cache), PR 3 made concurrent queries cheap (the serving layer) — this
+package asks the fleet-level question those layers exist for: **how many
+chips, scheduled how, meet what SLO under realistic protein-length traffic,
+at what cost**.
+
+Usage
+-----
+Generate traffic, describe a fleet, replay, read the report::
+
+    from repro.cluster import (
+        FleetSpec, SLOPolicy, mixture_lengths, poisson_trace, replay_trace,
+    )
+
+    pool, weights = mixture_lengths([(128, 0.6), (256, 0.3), (512, 0.1)])
+    trace = poisson_trace(
+        rate_rps=80.0, num_requests=500, length_pool=pool,
+        length_weights=weights, slo=SLOPolicy(), seed=7,
+    )
+    fleet = FleetSpec.homogeneous("lightnobel", 4)
+    report = replay_trace(trace, fleet, scheduler="edf")
+    report.p99_latency_seconds, report.slo_attainment, report.utilization
+
+Multi-chip nodes compose per-chip reports with package-interconnect costs::
+
+    from repro.cluster import MultiChipVariant
+    node = MultiChipVariant(base="lightnobel", chips=4)
+    fleet = FleetSpec.homogeneous(node, 2)          # 2 nodes x 4 chips
+
+Capacity planning (smallest fleet meeting a 95% SLO)::
+
+    from repro.cluster import plan_capacity
+    plan = plan_capacity(trace, fleet_sizes=(1, 2, 4, 8),
+                         policies=("fifo", "sjf", "bucketed", "edf"))
+    plan.minimal_fleet(), plan.cheapest_plan(), plan.attainment_curve("edf")
+
+Replays are bit-deterministic for a fixed trace seed; scheduling policies
+share priority/deadline semantics with the live
+:class:`~repro.serving.service.LatencyService` dispatcher.
+"""
+
+from .des import (
+    ClusterReport,
+    RequestOutcome,
+    prefetch_service_times,
+    replay_trace,
+    replay_trace_outcomes,
+)
+from .fleet import (
+    DEFAULT_COST_PER_HOUR,
+    FleetSpec,
+    MultiChipBackend,
+    MultiChipVariant,
+    WorkerGroup,
+)
+from .planner import CapacityPlan, PlanPoint, plan_capacity
+from .scheduler import (
+    BucketedScheduler,
+    EDFScheduler,
+    FIFOScheduler,
+    SCHEDULERS,
+    SJFScheduler,
+    Scheduler,
+    create_scheduler,
+    scheduler_name,
+)
+from .trace import (
+    NO_SLO,
+    Request,
+    RequestTrace,
+    SLOPolicy,
+    bursty_trace,
+    dataset_lengths,
+    mixture_lengths,
+    poisson_trace,
+)
+
+__all__ = [
+    "BucketedScheduler",
+    "CapacityPlan",
+    "ClusterReport",
+    "DEFAULT_COST_PER_HOUR",
+    "EDFScheduler",
+    "FIFOScheduler",
+    "FleetSpec",
+    "MultiChipBackend",
+    "MultiChipVariant",
+    "NO_SLO",
+    "PlanPoint",
+    "Request",
+    "RequestOutcome",
+    "RequestTrace",
+    "SCHEDULERS",
+    "SJFScheduler",
+    "SLOPolicy",
+    "Scheduler",
+    "WorkerGroup",
+    "bursty_trace",
+    "create_scheduler",
+    "dataset_lengths",
+    "mixture_lengths",
+    "plan_capacity",
+    "poisson_trace",
+    "prefetch_service_times",
+    "replay_trace",
+    "replay_trace_outcomes",
+    "scheduler_name",
+]

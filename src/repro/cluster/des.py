@@ -1,0 +1,403 @@
+"""Deterministic discrete-event replay of a trace against a fleet + policy.
+
+:func:`replay_trace` is the cluster-level sibling of
+:meth:`repro.sim.session.SimulationSession.simulate`: where the session
+answers "how long does one request take on one chip", the replay answers
+"what latency distribution, utilization and SLO attainment does this *fleet*
+deliver under this *traffic* with this *scheduler*".
+
+The split keeps replay cheap and bit-deterministic:
+
+1. **Prefetch** — every distinct (worker-group backend, protein length) pair
+   is simulated once through the shared
+   :class:`~repro.sim.session.SimulationSession` (or a
+   :class:`~repro.serving.service.LatencyService`, or sharded across
+   :func:`repro.sim.sweep.sweep` with ``workers > 1``) — the only stage that
+   touches a simulator.
+2. **Replay** — a pure-Python event loop over a heap of arrivals and
+   completions.  Ties break on (time, kind, sequence) and idle workers are
+   claimed lowest-id-first, so a given (trace, fleet, policy) replays to the
+   bit-identical :class:`ClusterReport` on every run, machine and process —
+   the property the golden tests pin.
+
+Requests whose backend reports out-of-memory at their length are *dropped*
+(counted, and counted against SLO attainment), never silently served.
+
+``same_length_reuse_discount`` models the shape-reuse effect the lower
+layers measure directly (a cached operator table / compiled shape makes a
+repeated length far cheaper than a cold one): a request served on a worker
+whose *previous* request had the same length runs at a discount, and the
+dispatcher prefers shape-matching idle workers.  Length-aware schedulers
+form same-length runs and harvest the discount; FIFO interleaves shapes and
+mostly does not — the capacity argument for length-bucketed batching.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import insort
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple, TYPE_CHECKING
+
+from ..ppm.config import PPMConfig
+from ..serving.stats import percentile
+from ..sim.session import SimulationSession, session_for
+from ..sim.sweep import SweepPoint, sweep
+from .fleet import FleetSpec
+from .scheduler import SchedulerSpec, create_scheduler, scheduler_name
+from .trace import RequestTrace
+
+if TYPE_CHECKING:  # service routing is optional; avoid an import cycle at runtime
+    from ..serving.service import LatencyService
+
+#: Completion events order before arrivals at the same timestamp, so a worker
+#: freed at time t can serve a request arriving at exactly t.
+_COMPLETION, _ARRIVAL = 0, 1
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """Fleet-level outcome of one trace replay (the capacity-planning unit).
+
+    ``utilization`` maps each worker-group label to busy-time over
+    ``makespan * workers``; ``slo_attainment`` is the fraction of *all*
+    requests (dropped ones included) that completed within their deadline —
+    deadline-free requests count as met when completed.
+    ``cost_per_million_requests`` prices the replay at the fleet's hourly
+    rate over the makespan.
+    """
+
+    trace_name: str
+    fleet_name: str
+    policy: str
+    num_workers: int
+    requests: int
+    completed: int
+    dropped: int
+    makespan_seconds: float
+    offered_rps: float
+    throughput_rps: float
+    mean_latency_seconds: float
+    p50_latency_seconds: float
+    p99_latency_seconds: float
+    mean_wait_seconds: float
+    p99_wait_seconds: float
+    slo_attainment: float
+    deadlines_missed: int
+    max_queue_depth: int
+    mean_queue_depth: float
+    utilization: Mapping[str, float] = field(default_factory=dict)
+    per_priority_attainment: Mapping[int, float] = field(default_factory=dict)
+    cost_per_million_requests: float = 0.0
+    events_processed: int = 0
+
+    @property
+    def drop_rate(self) -> float:
+        return self.dropped / self.requests if self.requests else 0.0
+
+
+#: (group index, sequence length) -> service seconds, or None when the
+#: backend cannot serve that length (out of memory).
+ServiceTimes = Dict[Tuple[int, int], Optional[float]]
+
+
+def prefetch_service_times(
+    trace: RequestTrace,
+    fleet: FleetSpec,
+    ppm_config: Optional[PPMConfig] = None,
+    session: Optional[SimulationSession] = None,
+    service: Optional["LatencyService"] = None,
+    workers: Optional[int] = None,
+) -> ServiceTimes:
+    """Simulate every distinct (worker-group backend, length) pair once.
+
+    With ``service=`` the pairs route through a shared
+    :class:`~repro.serving.service.LatencyService` (its coalescing and worker
+    pool apply); otherwise a session serves them, optionally warmed by a
+    ``workers``-wide :func:`repro.sim.sweep.sweep` whose reports are seeded
+    back into the session memo/disk cache first.
+    """
+    lengths = trace.distinct_lengths()
+    specs = [group.backend for group in fleet.groups]
+    times: ServiceTimes = {}
+    if service is not None:
+        if ppm_config is not None and service.session.ppm_config != ppm_config:
+            raise ValueError("ppm_config does not match service.session.ppm_config")
+        reports = service.query_batch(
+            [(spec, n) for spec in specs for n in lengths]
+        )
+        for gi in range(len(specs)):
+            for li, n in enumerate(lengths):
+                report = reports[gi * len(lengths) + li]
+                times[(gi, n)] = None if report.out_of_memory else report.total_seconds
+        return times
+    session = session_for(ppm_config, session, backends=())
+    if workers is not None and workers > 1:
+        points = [SweepPoint(spec, n) for spec in specs for n in lengths]
+        # The session's recycle setting must reach the sweep workers AND the
+        # seed keys, or a recycles-enabled session would be warmed with (and
+        # then serve) recycle-free reports — breaking pooled ≡ serial parity.
+        reports = sweep(
+            points,
+            ppm_config=session.ppm_config,
+            workers=workers,
+            include_recycles=session.include_recycles,
+        )
+        for point, report in zip(points, reports):
+            session.seed_report(
+                point.backend,
+                point.sequence_length,
+                report,
+                include_recycles=session.include_recycles,
+            )
+    for gi, spec in enumerate(specs):
+        for n in lengths:
+            report = session.simulate(n, backend=spec)
+            times[(gi, n)] = None if report.out_of_memory else report.total_seconds
+    return times
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """Per-request record of one replay (policy-invariant tests read these)."""
+
+    request_id: int
+    sequence_length: int
+    priority: int
+    arrival_seconds: float
+    start_seconds: float
+    finish_seconds: float
+    met_deadline: bool
+    dropped: bool = False
+
+    @property
+    def latency_seconds(self) -> float:
+        return self.finish_seconds - self.arrival_seconds
+
+    @property
+    def wait_seconds(self) -> float:
+        return self.start_seconds - self.arrival_seconds
+
+
+def replay_trace(
+    trace: RequestTrace,
+    fleet: FleetSpec,
+    scheduler: SchedulerSpec = "fifo",
+    ppm_config: Optional[PPMConfig] = None,
+    session: Optional[SimulationSession] = None,
+    service: Optional["LatencyService"] = None,
+    workers: Optional[int] = None,
+    dispatch_overhead_seconds: float = 0.0,
+    same_length_reuse_discount: float = 0.0,
+    service_times: Optional[ServiceTimes] = None,
+) -> ClusterReport:
+    """Replay ``trace`` against ``fleet`` under ``scheduler``; emit a report.
+
+    ``service_times`` short-circuits the prefetch (the planner reuses one
+    prefetch across every fleet size and policy it sweeps).
+    ``dispatch_overhead_seconds`` is a fixed per-request scheduling cost added
+    to every service; ``same_length_reuse_discount`` (in [0, 1)) is the
+    service-time fraction saved when a worker serves the same length twice in
+    a row (shape/table reuse — 0 models a stateless worker).
+    """
+    report, _ = replay_trace_outcomes(
+        trace,
+        fleet,
+        scheduler=scheduler,
+        ppm_config=ppm_config,
+        session=session,
+        service=service,
+        workers=workers,
+        dispatch_overhead_seconds=dispatch_overhead_seconds,
+        same_length_reuse_discount=same_length_reuse_discount,
+        service_times=service_times,
+    )
+    return report
+
+
+def replay_trace_outcomes(
+    trace: RequestTrace,
+    fleet: FleetSpec,
+    scheduler: SchedulerSpec = "fifo",
+    ppm_config: Optional[PPMConfig] = None,
+    session: Optional[SimulationSession] = None,
+    service: Optional["LatencyService"] = None,
+    workers: Optional[int] = None,
+    dispatch_overhead_seconds: float = 0.0,
+    same_length_reuse_discount: float = 0.0,
+    service_times: Optional[ServiceTimes] = None,
+) -> Tuple[ClusterReport, Tuple[RequestOutcome, ...]]:
+    """:func:`replay_trace` plus the per-request :class:`RequestOutcome` log."""
+    if not 0.0 <= same_length_reuse_discount < 1.0:
+        raise ValueError("same_length_reuse_discount must be in [0, 1)")
+    policy = create_scheduler(scheduler)
+    if service_times is None:
+        service_times = prefetch_service_times(
+            trace, fleet, ppm_config=ppm_config, session=session,
+            service=service, workers=workers,
+        )
+
+    group_of = fleet.worker_groups()
+    num_workers = len(group_of)
+    labels = fleet.group_labels()
+
+    events: List[Tuple[float, int, int, object]] = []
+    counter = 0
+    for request in trace:
+        heapq.heappush(
+            events, (request.arrival_seconds, _ARRIVAL, counter, request)
+        )
+        counter += 1
+
+    idle: List[int] = list(range(num_workers))  # kept sorted (lowest id first)
+    busy_seconds = [0.0] * num_workers
+    last_length: List[Optional[int]] = [None] * num_workers
+
+    outcomes: List[RequestOutcome] = []
+    latencies: List[float] = []
+    waits: List[float] = []
+    met_by_priority: Dict[int, int] = {}
+    total_by_priority: Dict[int, int] = {}
+    completed = dropped = deadlines_missed = 0
+    events_processed = 0
+    max_queue_depth = 0
+    queue_depth_sum = 0
+    last_time = trace.duration_seconds
+
+    def claim_worker(length: int) -> int:
+        """Lowest-id idle worker, preferring one whose last shape matches."""
+        if same_length_reuse_discount > 0.0:
+            for position, worker in enumerate(idle):
+                if last_length[worker] == length:
+                    return idle.pop(position)
+        return idle.pop(0)
+
+    def dispatch(now: float) -> None:
+        nonlocal counter, dropped, deadlines_missed
+        while idle and len(policy):
+            request = policy.pop(now)
+            worker = claim_worker(request.sequence_length)
+            seconds = service_times[
+                (group_of[worker], request.sequence_length)
+            ]
+            if seconds is None:
+                # The claimed worker's group cannot serve this length; with
+                # heterogeneous fleets a smarter router could retry another
+                # group, but the baseline replay models group-oblivious
+                # dispatch.  The worker itself stays idle.
+                insort(idle, worker)
+                dropped += 1
+                total_by_priority[request.priority] = (
+                    total_by_priority.get(request.priority, 0) + 1
+                )
+                if request.deadline_seconds is not None:
+                    deadlines_missed += 1
+                outcomes.append(
+                    RequestOutcome(
+                        request_id=request.id,
+                        sequence_length=request.sequence_length,
+                        priority=request.priority,
+                        arrival_seconds=request.arrival_seconds,
+                        start_seconds=now,
+                        finish_seconds=now,
+                        met_deadline=False,
+                        dropped=True,
+                    )
+                )
+                continue
+            if last_length[worker] == request.sequence_length:
+                seconds *= 1.0 - same_length_reuse_discount
+            last_length[worker] = request.sequence_length
+            start = now
+            finish = start + dispatch_overhead_seconds + seconds
+            busy_seconds[worker] += dispatch_overhead_seconds + seconds
+            heapq.heappush(
+                events, (finish, _COMPLETION, counter, (worker, request, start))
+            )
+            counter += 1
+
+    while events:
+        time_now, kind, _, payload = heapq.heappop(events)
+        events_processed += 1
+        last_time = max(last_time, time_now)
+        if kind == _ARRIVAL:
+            policy.push(payload)
+        else:
+            worker, request, start = payload
+            insort(idle, worker)
+            completed += 1
+            latency = time_now - request.arrival_seconds
+            latencies.append(latency)
+            waits.append(start - request.arrival_seconds)
+            met = (
+                request.deadline_seconds is None
+                or time_now <= request.deadline_seconds + 1e-12
+            )
+            if not met:
+                deadlines_missed += 1
+            total_by_priority[request.priority] = (
+                total_by_priority.get(request.priority, 0) + 1
+            )
+            if met:
+                met_by_priority[request.priority] = (
+                    met_by_priority.get(request.priority, 0) + 1
+                )
+            outcomes.append(
+                RequestOutcome(
+                    request_id=request.id,
+                    sequence_length=request.sequence_length,
+                    priority=request.priority,
+                    arrival_seconds=request.arrival_seconds,
+                    start_seconds=start,
+                    finish_seconds=time_now,
+                    met_deadline=met,
+                )
+            )
+        dispatch(time_now)
+        depth = len(policy)
+        max_queue_depth = max(max_queue_depth, depth)
+        queue_depth_sum += depth
+
+    makespan = last_time
+    requests = len(trace)
+    utilization = {}
+    for index, label in enumerate(labels):
+        members = [w for w, g in enumerate(group_of) if g == index]
+        busy = sum(busy_seconds[w] for w in members)
+        capacity = len(members) * makespan
+        utilization[label] = busy / capacity if capacity > 0 else 0.0
+
+    attained = sum(met_by_priority.values())
+    report = ClusterReport(
+        trace_name=trace.name,
+        fleet_name=fleet.name,
+        policy=scheduler_name(scheduler),
+        num_workers=num_workers,
+        requests=requests,
+        completed=completed,
+        dropped=dropped,
+        makespan_seconds=makespan,
+        offered_rps=trace.offered_rps,
+        throughput_rps=completed / makespan if makespan > 0 else 0.0,
+        mean_latency_seconds=sum(latencies) / len(latencies) if latencies else 0.0,
+        p50_latency_seconds=percentile(latencies, 50.0),
+        p99_latency_seconds=percentile(latencies, 99.0),
+        mean_wait_seconds=sum(waits) / len(waits) if waits else 0.0,
+        p99_wait_seconds=percentile(waits, 99.0),
+        slo_attainment=attained / requests if requests else 0.0,
+        deadlines_missed=deadlines_missed,
+        max_queue_depth=max_queue_depth,
+        mean_queue_depth=queue_depth_sum / events_processed if events_processed else 0.0,
+        utilization=utilization,
+        per_priority_attainment={
+            priority: met_by_priority.get(priority, 0) / total
+            for priority, total in sorted(total_by_priority.items())
+        },
+        cost_per_million_requests=(
+            fleet.cost_per_hour * (makespan / 3600.0) / completed * 1e6
+            if completed
+            else 0.0
+        ),
+        events_processed=events_processed,
+    )
+    return report, tuple(outcomes)

@@ -1,0 +1,162 @@
+"""Capacity planning: the smallest fleet (and policy) that meets an SLO.
+
+:func:`plan_capacity` sweeps fleet sizes x scheduling policies over one
+trace and returns a :class:`CapacityPlan` answering the operator questions:
+
+* the **minimal fleet size** per policy whose
+  :attr:`~repro.cluster.des.ClusterReport.slo_attainment` reaches the
+  target — the Fig.-12-style saturation knee, but for SLO capacity instead
+  of single-request latency,
+* the **cheapest plan** overall (a better policy often meets the SLO with
+  fewer, or cheaper, workers — that delta is the point of the subsystem).
+
+The expensive stage — simulating every distinct (backend, length) pair — is
+shared across the whole grid: one :func:`~repro.cluster.des.prefetch_service_times`
+call (sharded across :func:`repro.sim.sweep.sweep`'s process pool with
+``workers > 1``) feeds every replay, because fleet size and policy change
+queueing, never per-request service time.  Replays themselves are pure
+Python and deterministic, so a plan is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from ..ppm.config import PPMConfig
+from ..sim.session import SimulationSession
+from .des import ClusterReport, prefetch_service_times, replay_trace
+from .fleet import FleetSpec
+from .scheduler import SchedulerSpec, scheduler_name
+from .trace import RequestTrace
+
+if TYPE_CHECKING:  # optional routing, kept import-cycle free
+    from ..serving.service import LatencyService
+
+
+@dataclass(frozen=True)
+class PlanPoint:
+    """One (fleet size, policy) cell of the capacity grid."""
+
+    fleet: FleetSpec
+    policy: str
+    report: ClusterReport
+
+    def meets(self, slo_target: float) -> bool:
+        return self.report.slo_attainment >= slo_target
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """Outcome of one :func:`plan_capacity` sweep."""
+
+    trace_name: str
+    slo_target: float
+    points: Tuple[PlanPoint, ...]
+
+    def for_policy(self, policy: str) -> List[PlanPoint]:
+        return [p for p in self.points if p.policy == policy]
+
+    def policies(self) -> List[str]:
+        seen = dict.fromkeys(p.policy for p in self.points)
+        return list(seen)
+
+    def minimal_fleet(self, policy: Optional[str] = None) -> Optional[PlanPoint]:
+        """Smallest fleet meeting the SLO target (optionally for one policy).
+
+        Ties across policies at the same size resolve to the cheaper, then
+        higher-attainment, point.
+        """
+        candidates = [
+            p
+            for p in (self.points if policy is None else self.for_policy(policy))
+            if p.report.slo_attainment >= self.slo_target
+        ]
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda p: (
+                p.fleet.num_workers,
+                p.fleet.cost_per_hour,
+                -p.report.slo_attainment,
+            ),
+        )
+
+    def cheapest_plan(self) -> Optional[PlanPoint]:
+        """Lowest cost-per-million point meeting the SLO target."""
+        candidates = [
+            p for p in self.points if p.report.slo_attainment >= self.slo_target
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda p: p.report.cost_per_million_requests)
+
+    def attainment_curve(self, policy: str) -> List[Tuple[int, float]]:
+        """(fleet size, SLO attainment) pairs — the fleet-size-vs-SLO curve."""
+        return [
+            (p.fleet.num_workers, p.report.slo_attainment)
+            for p in sorted(self.for_policy(policy), key=lambda p: p.fleet.num_workers)
+        ]
+
+
+def plan_capacity(
+    trace: RequestTrace,
+    base_fleet: Optional[FleetSpec] = None,
+    fleet_sizes: Sequence[int] = (1, 2, 4, 8),
+    policies: Sequence[SchedulerSpec] = ("fifo", "edf"),
+    slo_target: float = 0.95,
+    ppm_config: Optional[PPMConfig] = None,
+    session: Optional[SimulationSession] = None,
+    service: Optional["LatencyService"] = None,
+    workers: Optional[int] = None,
+    dispatch_overhead_seconds: float = 0.0,
+    same_length_reuse_discount: float = 0.0,
+) -> CapacityPlan:
+    """Sweep ``fleet_sizes`` x ``policies`` over ``trace``; rank against the SLO.
+
+    ``base_fleet`` must be homogeneous (its single worker group is rescaled
+    to each size; default: one ``"lightnobel"`` group).  ``workers > 1``
+    shards the one shared service-time prefetch across the sweep process
+    pool; the replays themselves are cheap and run serially.
+    """
+    if not 0.0 < slo_target <= 1.0:
+        raise ValueError("slo_target must be in (0, 1]")
+    base_fleet = base_fleet or FleetSpec.homogeneous("lightnobel", 1)
+    if len(base_fleet.groups) != 1:
+        # Fail before the prefetch: with_size() would raise anyway, but only
+        # after the expensive service-time stage already ran.
+        raise ValueError("base_fleet must be homogeneous for a fleet-size sweep")
+    # One prefetch serves the whole grid: service times depend only on the
+    # worker group's backend and the request length.
+    times = prefetch_service_times(
+        trace,
+        base_fleet,
+        ppm_config=ppm_config,
+        session=session,
+        service=service,
+        workers=workers,
+    )
+    points: List[PlanPoint] = []
+    for size in sorted(dict.fromkeys(int(s) for s in fleet_sizes)):
+        fleet = base_fleet.with_size(size)
+        for policy in policies:
+            # Scheduler *instances* are stateful (bucket cursors, quotas):
+            # every grid cell replays against a fresh copy so a cell's report
+            # is identical to a standalone replay of that cell.
+            fresh = getattr(policy, "fresh", None)
+            cell_policy = fresh() if callable(fresh) and not isinstance(policy, type) else policy
+            report = replay_trace(
+                trace,
+                fleet,
+                scheduler=cell_policy,
+                service_times=times,
+                dispatch_overhead_seconds=dispatch_overhead_seconds,
+                same_length_reuse_discount=same_length_reuse_discount,
+            )
+            points.append(
+                PlanPoint(fleet=fleet, policy=scheduler_name(policy), report=report)
+            )
+    return CapacityPlan(
+        trace_name=trace.name, slo_target=slo_target, points=tuple(points)
+    )

@@ -1,0 +1,243 @@
+"""Pluggable queueing policies for the cluster discrete-event replay.
+
+A scheduler is the pending-request pool of :func:`repro.cluster.des.replay_trace`:
+arrivals are :meth:`~Scheduler.push`-ed, and whenever a worker goes idle the
+replay :meth:`~Scheduler.pop`-s the next request to serve.  Policies differ
+only in the pop order:
+
+* :class:`FIFOScheduler` — arrival order (the baseline every serving stack
+  starts with, and the one a burst of short proteins behind a 3,000-residue
+  target punishes hardest),
+* :class:`SJFScheduler` — shortest protein first (service time is monotone in
+  length, so length is the shortest-job proxy that needs no simulator),
+* :class:`BucketedScheduler` — length-bucketed batching: requests group into
+  power-of-two length buckets, shorter buckets drain first, FIFO within a
+  bucket — the padded-batch discipline real protein-serving systems use, and
+  a fairer SJF (no starvation *within* a bucket),
+* :class:`EDFScheduler` — priority, then earliest deadline first, via the
+  *same* :func:`repro.serving.api.dispatch_order_key` the live
+  :class:`~repro.serving.service.LatencyService` dispatcher sorts by — one
+  definition of priority/deadline semantics across the simulated fleet and
+  the real queue.
+
+All policies break residual ties by arrival sequence, so every replay is
+bit-deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, Dict, List, Optional, Protocol, Tuple, Type, Union, runtime_checkable
+
+from ..serving.api import dispatch_order_key
+from .trace import Request
+
+
+@runtime_checkable
+class Scheduler(Protocol):
+    """Pending-request pool with a policy-defined pop order."""
+
+    name: str
+
+    def push(self, request: Request) -> None:
+        """Admit one arrived request."""
+        ...
+
+    def pop(self, now: float) -> Optional[Request]:
+        """Next request to dispatch at time ``now`` (``None`` when empty)."""
+        ...
+
+    def fresh(self) -> "Scheduler":
+        """An empty scheduler with the same policy configuration.
+
+        Schedulers are stateful; anything replaying one policy spec against
+        several traces/fleets (the planner grid) takes a fresh instance per
+        replay via this hook.
+        """
+        ...
+
+    def __len__(self) -> int:
+        ...
+
+
+class FIFOScheduler:
+    """Arrival order, no reordering."""
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        self._queue: Deque[Request] = deque()
+
+    def push(self, request: Request) -> None:
+        self._queue.append(request)
+
+    def pop(self, now: float) -> Optional[Request]:
+        return self._queue.popleft() if self._queue else None
+
+    def fresh(self) -> "FIFOScheduler":
+        return FIFOScheduler()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class SJFScheduler:
+    """Shortest protein first (non-preemptive), ties by arrival sequence."""
+
+    name = "sjf"
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, Request]] = []
+
+    def push(self, request: Request) -> None:
+        heapq.heappush(self._heap, (request.sequence_length, request.id, request))
+
+    def pop(self, now: float) -> Optional[Request]:
+        return heapq.heappop(self._heap)[2] if self._heap else None
+
+    def fresh(self) -> "SJFScheduler":
+        return SJFScheduler()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class BucketedScheduler:
+    """Length-bucketed batching: same-shape runs, deadline-ordered buckets.
+
+    Requests group into geometric length buckets (powers of two from
+    ``min_bucket``) — the padding granularity under which same-bucket
+    requests share one compiled shape/operator table.  Dispatch drains up to
+    ``batch_size`` requests from one bucket consecutively (the same-shape run
+    that harvests shape-reuse on a worker), then re-selects the bucket whose
+    *head* request sorts first under :func:`~repro.serving.api.dispatch_order_key`
+    — so no bucket starves longer than ``batch_size`` head-of-line services,
+    unlike a strict shortest-bucket-first discipline.
+    """
+
+    name = "bucketed"
+
+    def __init__(self, min_bucket: int = 64, batch_size: int = 8) -> None:
+        if min_bucket < 1:
+            raise ValueError("min_bucket must be >= 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.min_bucket = int(min_bucket)
+        self.batch_size = int(batch_size)
+        self._buckets: Dict[int, Deque[Request]] = {}
+        self._size = 0
+        self._current: Optional[int] = None
+        self._quota = 0
+
+    def bucket_of(self, length: int) -> int:
+        """Upper edge of the bucket holding ``length`` (power-of-two padding)."""
+        edge = self.min_bucket
+        while edge < length:
+            edge *= 2
+        return edge
+
+    def push(self, request: Request) -> None:
+        edge = self.bucket_of(request.sequence_length)
+        self._buckets.setdefault(edge, deque()).append(request)
+        self._size += 1
+
+    def _head_key(self, edge: int) -> Tuple[int, float, int]:
+        head = self._buckets[edge][0]
+        return dispatch_order_key(head.priority, head.deadline_seconds, head.id)
+
+    def pop(self, now: float) -> Optional[Request]:
+        if not self._size:
+            return None
+        if (
+            self._current is None
+            or self._quota <= 0
+            or not self._buckets.get(self._current)
+        ):
+            self._current = min(
+                (e for e, q in self._buckets.items() if q), key=self._head_key
+            )
+            self._quota = self.batch_size
+        self._quota -= 1
+        self._size -= 1
+        bucket = self._buckets[self._current]
+        request = bucket.popleft()
+        if not bucket:
+            del self._buckets[self._current]
+        return request
+
+    def fresh(self) -> "BucketedScheduler":
+        return BucketedScheduler(min_bucket=self.min_bucket, batch_size=self.batch_size)
+
+    def __len__(self) -> int:
+        return self._size
+
+
+class EDFScheduler:
+    """Priority tiers, earliest deadline first within a tier, then FIFO.
+
+    Sorts by :func:`repro.serving.api.dispatch_order_key` — the identical
+    comparator the serving dispatcher uses — so deadline-free, single-class
+    traffic degrades to exact FIFO.
+    """
+
+    name = "edf"
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[Tuple[int, float, int], Request]] = []
+
+    def push(self, request: Request) -> None:
+        key = dispatch_order_key(
+            request.priority, request.deadline_seconds, request.id
+        )
+        heapq.heappush(self._heap, (key, request))
+
+    def pop(self, now: float) -> Optional[Request]:
+        return heapq.heappop(self._heap)[1] if self._heap else None
+
+    def fresh(self) -> "EDFScheduler":
+        return EDFScheduler()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+#: Registry of policy names accepted everywhere a scheduler spec is taken.
+SCHEDULERS: Dict[str, Type] = {
+    "fifo": FIFOScheduler,
+    "sjf": SJFScheduler,
+    "bucketed": BucketedScheduler,
+    "edf": EDFScheduler,
+}
+
+SchedulerSpec = Union[str, Scheduler, Type]
+
+
+def create_scheduler(spec: SchedulerSpec = "fifo") -> Scheduler:
+    """Resolve a scheduler spec: a registry name, a class, or an instance.
+
+    Instances are returned as-is (callers that pass one own its lifecycle —
+    schedulers are stateful, so each replay should get a fresh one).
+    """
+    if isinstance(spec, str):
+        try:
+            return SCHEDULERS[spec.lower()]()
+        except KeyError:
+            raise ValueError(
+                f"unknown scheduler {spec!r}; expected one of {sorted(SCHEDULERS)}"
+            ) from None
+    if isinstance(spec, type):
+        return spec()
+    if isinstance(spec, Scheduler):
+        return spec
+    raise TypeError(f"cannot build a scheduler from {type(spec).__name__!r}")
+
+
+def scheduler_name(spec: SchedulerSpec) -> str:
+    """Display name of a scheduler spec without instantiating twice."""
+    if isinstance(spec, str):
+        return spec.lower()
+    name = getattr(spec, "name", None)
+    if isinstance(name, str) and name:
+        return name
+    return spec.__name__.lower() if isinstance(spec, type) else type(spec).__name__.lower()

@@ -1,0 +1,78 @@
+"""CI smoke entry: a small trace replayed under two policies, deterministically.
+
+Run as ``PYTHONPATH=src python -m repro.cluster.smoke``.  Generates a bursty
+trace on the tiny configuration, replays it against a 3-worker fleet under
+FIFO and EDF (sharing one service-time prefetch), asserts bit-determinism
+(two replays of the same trace produce identical :class:`ClusterReport`
+objects) and the deadline-count dominance of EDF, then exits 0 — the cluster
+sibling of :mod:`repro.sim.smoke` and :mod:`repro.serving.smoke`.  Every
+cache write is sandboxed in a throwaway directory.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+
+from ..ppm.config import PPMConfig
+from ..sim.cache import sandbox_cache_dir
+from ..sim.session import SimulationSession
+from .des import prefetch_service_times, replay_trace
+from .fleet import FleetSpec
+from .trace import SLOPolicy, bursty_trace, mixture_lengths
+
+
+def main() -> int:
+    config = PPMConfig.tiny()
+    pool, weights = mixture_lengths([(24, 0.6), (48, 0.3), (96, 0.1)])
+    trace = bursty_trace(
+        rate_rps=400.0,
+        num_requests=150,
+        length_pool=pool,
+        length_weights=weights,
+        slo=SLOPolicy(base_seconds=0.03, per_residue_seconds=2.0e-4),
+        seed=11,
+    )
+    fleet = FleetSpec.homogeneous("h100-chunk", 3)
+
+    with tempfile.TemporaryDirectory(prefix="repro-cluster-smoke-") as cache_dir:
+        # Sandbox every cache write in the throwaway directory, as the test
+        # suite's conftest does — nothing lands in the runner workspace/home.
+        with sandbox_cache_dir(cache_dir):
+            session = SimulationSession(ppm_config=config, cache_dir=cache_dir)
+            times = prefetch_service_times(trace, fleet, session=session)
+            reports = {}
+            for policy in ("fifo", "edf"):
+                first = replay_trace(
+                    trace, fleet, scheduler=policy, service_times=times
+                )
+                again = replay_trace(
+                    trace, fleet, scheduler=policy, service_times=times
+                )
+                if first != again:
+                    print(
+                        f"FAIL: {policy} replay is not deterministic", file=sys.stderr
+                    )
+                    return 1
+                reports[policy] = first
+                print(
+                    f"replay[{policy}] completed={first.completed}"
+                    f" p50={first.p50_latency_seconds * 1e3:.2f} ms"
+                    f" p99={first.p99_latency_seconds * 1e3:.2f} ms"
+                    f" slo={first.slo_attainment:.3f}"
+                    f" util={ {k: round(v, 3) for k, v in first.utilization.items()} }"
+                    f" events={first.events_processed}"
+                )
+
+    if reports["fifo"].completed != len(trace) or reports["edf"].completed != len(trace):
+        print("FAIL: replay lost requests", file=sys.stderr)
+        return 1
+    if reports["edf"].deadlines_missed > reports["fifo"].deadlines_missed:
+        print("FAIL: EDF missed more deadlines than FIFO", file=sys.stderr)
+        return 1
+    print("smoke ok: deterministic 3-worker replay, FIFO vs EDF, sandboxed cache")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

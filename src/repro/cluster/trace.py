@@ -1,0 +1,293 @@
+"""Seeded request traces: protein-length traffic with deadlines and priorities.
+
+A cluster experiment starts from a :class:`RequestTrace` — a deterministic,
+seed-reproducible stream of :class:`Request` objects, each an arrival time
+plus a protein length plus SLO annotations (priority class, absolute
+deadline).  Two arrival processes are provided:
+
+* :func:`poisson_trace` — memoryless arrivals at a fixed offered rate, the
+  steady-traffic baseline,
+* :func:`bursty_trace` — a two-state (on/off) modulated Poisson process whose
+  bursts are what separate scheduling policies: FIFO queues a burst behind
+  whatever long protein arrived first, deadline/length-aware policies do not.
+
+Lengths come from pluggable samplers: :func:`dataset_lengths` resamples the
+empirical length distribution of a synthetic CAMEO/CASP catalogue
+(:mod:`repro.proteins.datasets`), :func:`mixture_lengths` draws from an
+explicit (length, weight) mix — the "90% short, 10% huge" traffic shape every
+protein-serving fleet actually sees.
+
+Deadlines follow the serving convention of per-token SLOs: a request's
+deadline is ``arrival + base + per_residue * length``, so long proteins get
+proportionally more headroom and "SLO attainment" compares like with like.
+All randomness flows through one ``numpy`` generator seeded from the trace
+seed, so a trace is bit-identical across processes and platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._digest import stable_digest
+from ..proteins.datasets import build_catalog
+
+
+@dataclass(frozen=True)
+class Request:
+    """One serving request of a cluster trace.
+
+    ``deadline_seconds`` is *absolute* trace time (``None`` = no deadline);
+    ``priority`` follows :func:`repro.serving.api.dispatch_order_key`
+    semantics (higher dispatches first).
+    """
+
+    id: int
+    arrival_seconds: float
+    sequence_length: int
+    priority: int = 0
+    deadline_seconds: Optional[float] = None
+
+    @property
+    def deadline_slack_seconds(self) -> Optional[float]:
+        """Deadline headroom at arrival (``None`` when no deadline is set)."""
+        if self.deadline_seconds is None:
+            return None
+        return self.deadline_seconds - self.arrival_seconds
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """How a trace annotates requests with deadlines and priorities.
+
+    ``deadline = arrival + base_seconds + per_residue_seconds * length`` —
+    the per-token SLO shape.  ``priority_weights`` gives the class mix:
+    ``(0.9, 0.1)`` makes 10% of requests priority 1 (higher), the rest
+    priority 0.  ``(1.0,)`` (the default) is single-class traffic.
+    """
+
+    base_seconds: float = 0.05
+    per_residue_seconds: float = 2.5e-4
+    priority_weights: Tuple[float, ...] = (1.0,)
+
+    def deadline_for(self, arrival_seconds: float, length: int) -> float:
+        return arrival_seconds + self.base_seconds + self.per_residue_seconds * length
+
+
+#: A no-deadline, single-class annotation (pure arrival/length traffic).
+NO_SLO = SLOPolicy(base_seconds=0.0, per_residue_seconds=0.0)
+
+
+@dataclass(frozen=True)
+class RequestTrace:
+    """A deterministic stream of requests plus the knobs that produced it."""
+
+    name: str
+    requests: Tuple[Request, ...]
+    seed: int
+    #: Mean offered request rate implied by the generator (requests/second).
+    offered_rps: float
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self.requests)
+
+    def lengths(self) -> List[int]:
+        return [r.sequence_length for r in self.requests]
+
+    def distinct_lengths(self) -> List[int]:
+        return sorted(set(self.lengths()))
+
+    @property
+    def duration_seconds(self) -> float:
+        """Span from time zero to the last arrival."""
+        return self.requests[-1].arrival_seconds if self.requests else 0.0
+
+    def config_digest(self) -> str:
+        """Stable content hash (cache key for replay/planner results)."""
+        return stable_digest(
+            "RequestTrace",
+            {
+                "name": self.name,
+                "seed": self.seed,
+                "requests": [
+                    (
+                        r.id,
+                        r.arrival_seconds,
+                        r.sequence_length,
+                        r.priority,
+                        r.deadline_seconds,
+                    )
+                    for r in self.requests
+                ],
+            },
+        )
+
+
+# ------------------------------------------------------------ length samplers
+def dataset_lengths(
+    dataset: str,
+    count: int = 32,
+    seed: int = 0,
+    max_length: Optional[int] = None,
+) -> Tuple[int, ...]:
+    """Length pool resampled from a synthetic CAMEO/CASP catalogue.
+
+    ``max_length`` truncates the pool the same way numeric experiments cap
+    very long anchors (the 6,879-residue CASP16 target would dominate any
+    small-config replay).
+    """
+    catalog = build_catalog(dataset, count=count, seed=seed)
+    lengths = catalog.lengths()
+    if max_length is not None:
+        lengths = [min(n, int(max_length)) for n in lengths]
+    return tuple(lengths)
+
+
+def mixture_lengths(mix: Sequence[Tuple[int, float]]) -> Tuple[Tuple[int, ...], Tuple[float, ...]]:
+    """Split an explicit (length, weight) mix into aligned pools/weights."""
+    if not mix:
+        raise ValueError("mixture must contain at least one (length, weight) pair")
+    lengths = tuple(int(n) for n, _ in mix)
+    raw = np.asarray([w for _, w in mix], dtype=float)
+    if np.any(raw < 0) or raw.sum() <= 0:
+        raise ValueError("mixture weights must be non-negative and sum > 0")
+    return lengths, tuple(raw / raw.sum())
+
+
+def _sample_lengths(
+    rng: np.random.Generator,
+    count: int,
+    length_pool: Sequence[int],
+    length_weights: Optional[Sequence[float]],
+) -> np.ndarray:
+    pool = np.asarray(list(length_pool), dtype=np.int64)
+    if pool.size == 0:
+        raise ValueError("length pool must not be empty")
+    probabilities = None
+    if length_weights is not None:
+        probabilities = np.asarray(list(length_weights), dtype=float)
+        if probabilities.shape != pool.shape:
+            raise ValueError("length_weights must align with the length pool")
+        probabilities = probabilities / probabilities.sum()
+    return rng.choice(pool, size=count, p=probabilities)
+
+
+def _sample_priorities(
+    rng: np.random.Generator, count: int, weights: Sequence[float]
+) -> np.ndarray:
+    levels = np.arange(len(weights))
+    probabilities = np.asarray(list(weights), dtype=float)
+    probabilities = probabilities / probabilities.sum()
+    return rng.choice(levels, size=count, p=probabilities)
+
+
+def _annotate(
+    arrivals: np.ndarray,
+    lengths: np.ndarray,
+    priorities: np.ndarray,
+    slo: SLOPolicy,
+) -> Tuple[Request, ...]:
+    requests = []
+    has_deadline = slo.base_seconds > 0 or slo.per_residue_seconds > 0
+    for i, (arrival, length, priority) in enumerate(zip(arrivals, lengths, priorities)):
+        deadline = slo.deadline_for(float(arrival), int(length)) if has_deadline else None
+        requests.append(
+            Request(
+                id=i,
+                arrival_seconds=float(arrival),
+                sequence_length=int(length),
+                priority=int(priority),
+                deadline_seconds=deadline,
+            )
+        )
+    return tuple(requests)
+
+
+# --------------------------------------------------------- arrival generators
+def poisson_trace(
+    rate_rps: float,
+    num_requests: int,
+    length_pool: Sequence[int],
+    length_weights: Optional[Sequence[float]] = None,
+    slo: SLOPolicy = SLOPolicy(),
+    seed: int = 0,
+    name: str = "poisson",
+) -> RequestTrace:
+    """Poisson arrivals at ``rate_rps`` over a length pool (seed-deterministic)."""
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be positive")
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(scale=1.0 / rate_rps, size=num_requests)
+    arrivals = np.cumsum(gaps)
+    lengths = _sample_lengths(rng, num_requests, length_pool, length_weights)
+    priorities = _sample_priorities(rng, num_requests, slo.priority_weights)
+    return RequestTrace(
+        name=name,
+        requests=_annotate(arrivals, lengths, priorities, slo),
+        seed=seed,
+        offered_rps=float(rate_rps),
+    )
+
+
+def bursty_trace(
+    rate_rps: float,
+    num_requests: int,
+    length_pool: Sequence[int],
+    length_weights: Optional[Sequence[float]] = None,
+    slo: SLOPolicy = SLOPolicy(),
+    burst_factor: float = 8.0,
+    burst_fraction: float = 0.25,
+    mean_burst_requests: float = 12.0,
+    seed: int = 0,
+    name: str = "bursty",
+) -> RequestTrace:
+    """On/off modulated Poisson arrivals with mean offered rate ``rate_rps``.
+
+    The process alternates between an *on* state arriving at
+    ``burst_factor``-times the baseline-adjusted rate and an *off* state whose
+    rate is scaled down so the long-run mean stays at ``rate_rps``;
+    ``burst_fraction`` is the fraction of requests issued inside bursts and
+    ``mean_burst_requests`` the geometric mean burst size.  Bursts are the
+    trace feature that separates queueing policies: a burst landing behind one
+    long protein is exactly the head-of-line blocking FIFO cannot undo.
+    """
+    if not 0.0 < burst_fraction < 1.0:
+        raise ValueError("burst_fraction must be in (0, 1)")
+    if burst_factor <= 1.0:
+        raise ValueError("burst_factor must exceed 1")
+    rng = np.random.default_rng(seed)
+    # Per-state rates chosen so the request-weighted harmonic mean is rate_rps:
+    #   burst_fraction / on_rate + (1 - burst_fraction) / off_rate = 1 / rate_rps
+    on_rate = burst_factor * rate_rps
+    off_rate = (1.0 - burst_fraction) / (1.0 / rate_rps - burst_fraction / on_rate)
+    gaps = np.empty(num_requests, dtype=float)
+    issued = 0
+    in_burst = False
+    while issued < num_requests:
+        if in_burst:
+            run = max(1, int(rng.geometric(1.0 / mean_burst_requests)))
+            rate = on_rate
+        else:
+            mean_off = mean_burst_requests * (1.0 - burst_fraction) / burst_fraction
+            run = max(1, int(rng.geometric(1.0 / mean_off)))
+            rate = off_rate
+        run = min(run, num_requests - issued)
+        gaps[issued : issued + run] = rng.exponential(scale=1.0 / rate, size=run)
+        issued += run
+        in_burst = not in_burst
+    arrivals = np.cumsum(gaps)
+    lengths = _sample_lengths(rng, num_requests, length_pool, length_weights)
+    priorities = _sample_priorities(rng, num_requests, slo.priority_weights)
+    return RequestTrace(
+        name=name,
+        requests=_annotate(arrivals, lengths, priorities, slo),
+        seed=seed,
+        offered_rps=float(rate_rps),
+    )

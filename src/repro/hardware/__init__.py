@@ -3,7 +3,7 @@
 from .accelerator import LatencyReport, LightNobelAccelerator, OperatorLatency
 from .area_power import AreaPowerModel, ComponentCost, GPU_ENVELOPES, efficiency_versus_gpu
 from .config import LightNobelConfig
-from .interconnect import CrossbarNetwork, ScratchpadSpec, TokenAligner, default_scratchpads
+from .interconnect import ChipLinkSpec, CrossbarNetwork, ScratchpadSpec, TokenAligner, default_scratchpads
 from .memory import HBMModel, MemoryTransaction
 from .pe import (
     DynamicAccumulationLogic,
@@ -22,6 +22,7 @@ __all__ = [
     "AreaPowerModel",
     "ComponentCost",
     "CrossValidationResult",
+    "ChipLinkSpec",
     "CrossbarNetwork",
     "DynamicAccumulationLogic",
     "GPU_ENVELOPES",

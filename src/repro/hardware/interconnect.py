@@ -66,6 +66,46 @@ class CrossbarNetwork:
         return per_port / self.port_bytes_per_cycle
 
 
+@dataclass(frozen=True)
+class ChipLinkSpec:
+    """Chip-to-chip interconnect of a multi-chip package or node (frozen, picklable).
+
+    Reuses the :class:`CrossbarNetwork` contention model at package scale: a
+    fleet node exposes one crossbar port per chip, each moving
+    ``port_bytes_per_cycle`` at ``clock_hz``.  ``hop_latency_seconds`` is the
+    fixed per-synchronization latency (link + protocol), paid once per
+    collective regardless of payload.  ``syncs_per_block`` is how many
+    all-gathers of the pair representation one folding block needs when its
+    rows/columns are sharded across chips (row-wise and column-wise attention
+    each resynchronize once).
+    """
+
+    port_bytes_per_cycle: int = 64
+    clock_hz: float = 1.0e9
+    hop_latency_seconds: float = 2.0e-6
+    syncs_per_block: int = 2
+
+    def network(self, chips: int) -> CrossbarNetwork:
+        """The package crossbar for a ``chips``-wide node."""
+        return CrossbarNetwork(ports=chips, port_bytes_per_cycle=self.port_bytes_per_cycle)
+
+    def allgather_seconds(self, total_bytes: float, chips: int) -> float:
+        """Time to all-gather ``total_bytes`` sharded across ``chips`` chips.
+
+        Each chip contributes a ``1/chips`` shard and must receive the other
+        ``chips - 1`` shards through its own port, all ports active in
+        parallel — aggregate traffic ``total_bytes * (chips - 1)`` spread
+        over ``chips`` ports, so per-chip receive time *grows* toward
+        ``total_bytes / port_bandwidth`` as the fan-out widens.  Every
+        collective pays the fixed hop latency once.
+        """
+        if chips <= 1:
+            return 0.0
+        aggregate = total_bytes * (chips - 1)
+        cycles = self.network(chips).transfer_cycles(aggregate)
+        return cycles / self.clock_hz + self.hop_latency_seconds
+
+
 def default_scratchpads(config: Optional[LightNobelConfig] = None) -> dict:
     """The four scratchpads of Fig. 8 with the paper's capacities."""
     config = config or LightNobelConfig.paper()

@@ -38,6 +38,7 @@ from .api import (
     LatencyRequest,
     LatencyResponse,
     LatencyServiceError,
+    dispatch_order_key,
 )
 from .service import LatencyService
 from .stats import ServiceStats, percentile
@@ -50,5 +51,6 @@ __all__ = [
     "LatencyService",
     "LatencyServiceError",
     "ServiceStats",
+    "dispatch_order_key",
     "percentile",
 ]

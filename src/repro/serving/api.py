@@ -29,6 +29,27 @@ class LatencyServiceError(RuntimeError):
     """A request failed inside the service (bad spec, simulator error)."""
 
 
+def dispatch_order_key(
+    priority: int, deadline: Optional[float], sequence: int
+) -> Tuple[int, float, int]:
+    """Canonical dispatch order shared by the serving layer and the cluster.
+
+    Higher ``priority`` dispatches first; within a priority level the earliest
+    ``deadline`` wins (``None`` sorts after every finite deadline); remaining
+    ties fall back to ``sequence`` — submission order — so a stream of
+    default-priority, deadline-free requests dispatches exactly FIFO.  The
+    :class:`~repro.serving.service.LatencyService` dispatcher and the cluster
+    simulator's EDF scheduler (:mod:`repro.cluster.scheduler`) both sort by
+    this key, so "priority" and "deadline" mean the same thing on a single
+    shared service as on a simulated fleet.
+    """
+    return (
+        -int(priority),
+        float("inf") if deadline is None else float(deadline),
+        int(sequence),
+    )
+
+
 @dataclass(frozen=True)
 class LatencyRequest:
     """One latency/capacity query.
@@ -37,15 +58,26 @@ class LatencyRequest:
     (``"lightnobel"``, ``"h100-chunk"``), frozen config dataclasses and
     :class:`~repro.sim.backend.AcceleratorVariant`/:class:`~repro.sim.backend.GPUVariant`
     specs all work.  ``include_recycles=None`` defers to the service default.
+
+    ``priority`` and ``deadline_seconds`` feed :func:`dispatch_order_key`:
+    the dispatcher drains higher-priority requests first and breaks priority
+    ties by earliest deadline (measured in seconds from submission), falling
+    back to FIFO — the same semantics the cluster simulator's EDF scheduler
+    applies to a :class:`repro.cluster.trace.Request`.  Both default to the
+    neutral values (0, ``None``), which preserve strict FIFO dispatch.
     """
 
     backend: Any = "lightnobel"
     sequence_length: int = 0
     include_recycles: Optional[bool] = None
+    priority: int = 0
+    deadline_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         if int(self.sequence_length) <= 0:
             raise ValueError("sequence_length must be positive")
+        if self.deadline_seconds is not None and float(self.deadline_seconds) <= 0:
+            raise ValueError("deadline_seconds must be positive (or None)")
 
 
 @dataclass(frozen=True)

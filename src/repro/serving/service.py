@@ -12,10 +12,17 @@ into something that answers concurrent, multi-tenant traffic:
   simulation (the NeMo-style same-shape batching, applied to sim points),
 * **worker pool** — each drained batch of *unique* jobs is evaluated either
   serially through the shared session (memo + disk cache) or, with
-  ``workers > 1``, sharded across :func:`repro.sim.sweep.sweep`'s process
-  pool; pool results are seeded back into the session memo (and the
-  ``REPRO_SIM_CACHE_DIR`` disk cache) so the service warms up like any other
-  session user.
+  ``workers > 1``, sharded via :func:`repro.sim.sweep.sweep` across a
+  **long-lived process pool** owned by the service (created lazily on the
+  first pooled batch, reused for every batch after, shut down when the
+  dispatcher drains out — no per-batch executor standup); pool results are
+  seeded back into the session memo (and the ``REPRO_SIM_CACHE_DIR`` disk
+  cache) so the service warms up like any other session user,
+* **dispatch order** — requests carry ``priority``/``deadline_seconds``
+  (:func:`repro.serving.api.dispatch_order_key`): the dispatcher drains
+  higher-priority, earlier-deadline jobs first and falls back to FIFO for
+  all-default traffic — the same semantics the cluster simulator's EDF
+  scheduler applies (:mod:`repro.cluster.scheduler`).
 
 Both execution paths run the identical per-point simulation code, so pooled
 and serial services return bit-identical numbers — asserted by
@@ -27,7 +34,8 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, is_dataclass
 from pathlib import Path
 from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple, Union
 
@@ -43,7 +51,13 @@ from ..sim.backend import (
 )
 from ..sim.session import DEFAULT_BACKENDS, SimulationSession
 from ..sim.sweep import SweepPoint, resolve_workers, sweep
-from .api import LatencyRequest, LatencyResponse, CapacityReport, LatencyServiceError
+from .api import (
+    CapacityReport,
+    LatencyRequest,
+    LatencyResponse,
+    LatencyServiceError,
+    dispatch_order_key,
+)
 from .stats import ServiceStats
 
 RequestLike = Union[LatencyRequest, Tuple[Any, int]]
@@ -84,6 +98,18 @@ def _poolable(spec: Any) -> bool:
     """
     if isinstance(spec, (AcceleratorVariant, GPUVariant, LightNobelConfig, GPUSpec)):
         return True
+    # Variant-style frozen dataclasses with a build() factory (e.g.
+    # repro.cluster.fleet.MultiChipVariant) pickle by value and rebuild in the
+    # worker.  A spec that wraps a nested `base` spec (a multi-chip node over
+    # some inner backend) is only pool-safe if that base would resolve in a
+    # worker too — a session-local digest name or live backend instance
+    # inside would fail worker-side and needlessly cost us the long-lived
+    # pool, so such jobs run serially instead.
+    if is_dataclass(spec) and not isinstance(spec, type) and callable(
+        getattr(spec, "build", None)
+    ):
+        base = getattr(spec, "base", None)
+        return base is None or _poolable(base)
     if isinstance(spec, str):
         key = spec.lower()
         if key in available_backends():
@@ -119,13 +145,35 @@ class _Ticket:
 
 @dataclass
 class _Job:
-    """One unique (backend, length, recycles) simulation; owns its waiters."""
+    """One unique (backend, length, recycles) simulation; owns its waiters.
+
+    ``priority``/``deadline`` aggregate over the attached tickets (highest
+    priority, earliest absolute deadline): a duplicate that coalesces onto a
+    queued job can only move it *forward* in dispatch order, never starve it.
+    """
 
     key: Tuple
     spec: Any
     sequence_length: int
     include_recycles: bool
+    seq: int = 0
+    priority: int = 0
+    deadline: Optional[float] = None
+    #: True while the job sits in the pending queue (dispatch bookkeeping).
+    queued: bool = True
     tickets: List[_Ticket] = field(default_factory=list)
+
+    def dispatch_key(self) -> Tuple[int, float, int]:
+        return dispatch_order_key(self.priority, self.deadline, self.seq)
+
+    def is_default_order(self) -> bool:
+        """Whether the job sorts exactly where FIFO would put it."""
+        return self.priority == 0 and self.deadline is None
+
+    def absorb(self, priority: int, deadline: Optional[float]) -> None:
+        self.priority = max(self.priority, int(priority))
+        if deadline is not None:
+            self.deadline = deadline if self.deadline is None else min(self.deadline, deadline)
 
 
 class LatencyService:
@@ -193,6 +241,10 @@ class LatencyService:
         self._cond = threading.Condition()
         self._session_lock = threading.RLock()
         self._queue: Deque[_Job] = deque()
+        #: Queued jobs with non-default priority/deadline; while zero the
+        #: dispatcher drains with the O(1) FIFO popleft fast path instead of
+        #: sorting the whole queue per batch.
+        self._urgent_queued = 0
         self._pending: Dict[Tuple, _Job] = {}
         self._tickets: Dict[int, _Ticket] = {}
         self._next_ticket = 0
@@ -200,6 +252,11 @@ class LatencyService:
         self._executing = 0
         self._stopped = False
         self._thread: Optional[threading.Thread] = None
+        #: Long-lived worker pool (created lazily by the dispatcher on the
+        #: first pooled batch, reused for every batch after, shut down when
+        #: the dispatcher drains out).  Owned exclusively by the dispatcher
+        #: thread, so no lock guards it.
+        self._pool: Optional[ProcessPoolExecutor] = None
         self._started_at = time.perf_counter()
 
     # ---------------------------------------------------------------- lifecycle
@@ -231,6 +288,10 @@ class LatencyService:
             thread = self._thread
         if wait and thread is not None:
             thread.join()
+        if thread is None:
+            # Never-started service: no dispatcher will run to release the
+            # pool (it cannot exist yet, but keep the invariant explicit).
+            self._shutdown_pool()
 
     def __enter__(self) -> "LatencyService":
         return self.start()
@@ -268,6 +329,11 @@ class LatencyService:
                 id=ticket_id, request=request, submitted_at=now, coalesced=coalesced
             )
             self._tickets[ticket_id] = ticket
+            deadline = (
+                None
+                if request.deadline_seconds is None
+                else now + float(request.deadline_seconds)
+            )
             if job is None:
                 include = key[2]
                 job = _Job(
@@ -275,9 +341,14 @@ class LatencyService:
                     spec=request.backend,
                     sequence_length=int(request.sequence_length),
                     include_recycles=include,
+                    seq=ticket_id,
                 )
                 self._pending[key] = job
                 self._queue.append(job)
+            was_default = job.is_default_order()
+            job.absorb(request.priority, deadline)
+            if job.queued and was_default and not job.is_default_order():
+                self._urgent_queued += 1
             job.tickets.append(ticket)
             depth = len(self._queue)
             self._cond.notify_all()
@@ -397,10 +468,31 @@ class LatencyService:
                     # plain wait needs no polling interval.
                     self._cond.wait()
                 if not self._queue:
-                    return  # stopped and drained
-                jobs: List[_Job] = []
-                while self._queue and len(jobs) < self.max_batch:
-                    jobs.append(self._queue.popleft())
+                    break  # stopped and drained; release the pool below
+                # Drain up to max_batch jobs in dispatch order: priority desc,
+                # then earliest deadline, then submission order (the shared
+                # dispatch_order_key semantics).  While nothing queued carries
+                # a non-default priority/deadline the queue is already in
+                # dispatch order, so keep the O(1) FIFO popleft drain; sort
+                # only when an urgent job is actually waiting.
+                if self._urgent_queued == 0:
+                    jobs = []
+                    while self._queue and len(jobs) < self.max_batch:
+                        jobs.append(self._queue.popleft())
+                else:
+                    ordered = sorted(self._queue, key=_Job.dispatch_key)
+                    jobs = ordered[: self.max_batch]
+                    if len(jobs) == len(self._queue):
+                        self._queue.clear()
+                    else:
+                        chosen = {id(job) for job in jobs}
+                        self._queue = deque(
+                            job for job in self._queue if id(job) not in chosen
+                        )
+                for job in jobs:
+                    job.queued = False
+                    if not job.is_default_order():
+                        self._urgent_queued -= 1
                 self._executing = len(jobs)
             started = time.perf_counter()
             results: Dict[Tuple, Tuple[Optional[SimReport], Optional[str], bool]] = {}
@@ -410,6 +502,10 @@ class LatencyService:
                 # Fulfill even if _execute blew up: every drained ticket gets a
                 # response (an error one, in the worst case), never a hang.
                 self._fulfill(jobs, results, started)
+        # The dispatcher owns the worker pool and releases it on the way out —
+        # outside the condition lock, since joining worker processes can take
+        # a while and must not stall concurrent poll()/stats readers.
+        self._shutdown_pool()
 
     def _execute(
         self, jobs: List[_Job]
@@ -457,30 +553,53 @@ class LatencyService:
         self.stats.record_simulations(1)
         return (report, None, False)
 
+    def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
+        """The long-lived worker pool, created lazily (``None`` if unavailable)."""
+        if self._pool is None:
+            try:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            except Exception:
+                return None
+        return self._pool
+
+    def _shutdown_pool(self, wait: bool = True) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait)
+
     def _simulate_pooled(
         self,
         jobs: List[_Job],
         results: Dict[Tuple, Tuple[Optional[SimReport], Optional[str], bool]],
     ) -> None:
-        """Shard a batch of unique jobs across ``sweep()``'s process pool.
+        """Shard a batch of unique jobs across the long-lived worker pool.
 
-        Jobs are grouped by recycles flag (a sweep-level setting); any pool
-        failure degrades to the per-job serial path, so the service keeps the
-        sweep module's never-have-to-care fallback contract.
+        The pool is created once and reused across batches (no per-batch
+        executor standup); jobs are grouped by recycles flag (a sweep-level
+        setting).  A broken/unavailable pool is discarded and the batch
+        degrades to the per-job serial path, so the service keeps the sweep
+        module's never-have-to-care fallback contract.
         """
         by_include: Dict[bool, List[_Job]] = {}
         for job in jobs:
             by_include.setdefault(job.include_recycles, []).append(job)
         for include, group in by_include.items():
             points = [SweepPoint(job.spec, job.sequence_length) for job in group]
+            executor = self._ensure_pool()
             try:
                 reports = sweep(
                     points,
                     ppm_config=self.session.ppm_config,
                     workers=self.workers,
                     include_recycles=include,
+                    executor=executor,
                 )
             except Exception:
+                if executor is not None:
+                    # The pool itself may be broken (dead workers, pickling of
+                    # a poisoned spec): discard it so the next batch starts
+                    # clean rather than failing forever.
+                    self._shutdown_pool(wait=False)
                 for job in group:
                     results[job.key] = self._simulate_serial(job)
                 continue

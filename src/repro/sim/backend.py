@@ -253,6 +253,12 @@ def create_backend(spec, ppm_config: Optional[PPMConfig] = None) -> LatencyBacke
     """
     if isinstance(spec, (AcceleratorVariant, GPUVariant)):
         return spec.build(ppm_config)
+    # Any frozen variant-style spec with a build(ppm_config) factory resolves
+    # the same way (e.g. repro.cluster.fleet.MultiChipVariant) — new backend
+    # families do not need to be enumerated here.
+    build = getattr(spec, "build", None)
+    if callable(build) and not isinstance(spec, type) and not hasattr(spec, "simulate_table"):
+        return build(ppm_config)
     if isinstance(spec, LightNobelConfig):
         return AcceleratorBackend(ppm_config=ppm_config, hw_config=spec)
     if isinstance(spec, GPUSpec):

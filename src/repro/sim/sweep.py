@@ -104,6 +104,7 @@ def sweep(
     workers: Optional[int] = None,
     include_recycles: bool = False,
     chunksize: Optional[int] = None,
+    executor: Optional[ProcessPoolExecutor] = None,
 ) -> List[SimReport]:
     """Simulate every point; returns reports aligned with the input order.
 
@@ -112,12 +113,25 @@ def sweep(
     failure to stand up or use the pool — sandboxed environments without
     ``fork``/semaphores, unpicklable specs — degrades to the serial loop, so
     callers never have to care which path ran.
+
+    ``executor`` submits the shards to a caller-owned, long-lived process pool
+    instead of standing one up per call (the serving layer's worker pool).
+    The caller keeps the lifecycle — nothing is shut down here — and pool
+    failures *propagate* rather than silently degrading, so an owner can
+    discard a broken pool before retrying serially.
     """
     normalized = [_as_point(p) for p in points]
     payloads = [
         (ppm_config, bool(include_recycles), p.backend, int(p.sequence_length))
         for p in normalized
     ]
+    if executor is not None and len(payloads) > 0:
+        if chunksize is None:
+            # Prefer the caller's workers hint; peek at the executor's width
+            # only as a guarded fallback (private attribute, may disappear).
+            hint = resolve_workers(workers) or getattr(executor, "_max_workers", None) or 1
+            chunksize = max(1, len(payloads) // (int(hint) * 4))
+        return list(executor.map(_simulate_point, payloads, chunksize=chunksize))
     workers = resolve_workers(workers)
     if workers is not None and workers > 1 and len(payloads) > 1:
         try:

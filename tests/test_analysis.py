@@ -149,6 +149,17 @@ class TestDSE:
         assert all(0.0 <= p.tm_score <= 1.0 for p in points)
         assert dse.best_point(points).efficiency >= min(p.efficiency for p in points)
 
+    def test_sharded_quantization_dse_matches_serial(self):
+        # The Fig. 11 sweep sharded across the process pool must reproduce
+        # the serial numbers exactly (worker models are seed-deterministic).
+        targets = [generate_protein(32, seed=5), generate_protein(40, seed=9)]
+        dse = QuantizationDSE(targets, config=PPMConfig.tiny())
+        serial = dse.sweep_group("C", outlier_counts=(4, 0), precisions=(4, 8))
+        pooled = dse.sweep_group(
+            "C", outlier_counts=(4, 0), precisions=(4, 8), workers=2
+        )
+        assert pooled == serial
+
     def test_hardware_dse_saturation(self):
         sweeps = hardware_dse(
             [256],

@@ -369,3 +369,170 @@ class TestRewiredEntryPoints:
                 thread.join()
             assert service.stats.simulations == len(LENGTHS)
         assert results[0] == results[1] == results[2]
+
+
+class TestWorkerPoolLifecycle:
+    """The long-lived worker pool: created once, reused, cleanly shut down."""
+
+    def grid(self):
+        return [
+            (spec, n)
+            for spec in ("lightnobel", "h100", "h100-chunk")
+            for n in LENGTHS
+        ]
+
+    def test_pool_is_created_lazily_and_reused_across_batches(self, config):
+        with make_service(config, workers=2) as service:
+            assert service._pool is None  # nothing pooled yet
+            service.query_batch(self.grid(), timeout=TIMEOUT)
+            first_pool = service._pool
+            assert first_pool is not None
+            # A second batch of *new* unique keys must reuse the same executor,
+            # not stand up a fresh one per batch.
+            service.query_batch(
+                [("a100", n) for n in LENGTHS] + [("a100-chunk", n) for n in LENGTHS],
+                timeout=TIMEOUT,
+            )
+            assert service._pool is first_pool
+
+    def test_close_shuts_the_pool_down(self, config):
+        service = make_service(config, workers=2)
+        with service:
+            service.query_batch(self.grid(), timeout=TIMEOUT)
+            pool = service._pool
+            assert pool is not None
+        assert service._pool is None
+        # The executor is genuinely shut down, not leaked: submitting raises.
+        with pytest.raises(RuntimeError):
+            pool.submit(int, 0)
+
+    def test_serial_service_never_creates_a_pool(self, config):
+        with make_service(config, workers=None) as service:
+            service.query_batch(self.grid(), timeout=TIMEOUT)
+            assert service._pool is None
+
+    def test_pooled_results_still_match_direct_session(self, config):
+        with make_service(config, workers=2) as service:
+            reports = service.query_batch(self.grid(), timeout=TIMEOUT)
+        session = SimulationSession(ppm_config=config, use_disk_cache=False)
+        for (spec, n), report in zip(self.grid(), reports):
+            assert report.total_seconds == session.simulate(n, backend=spec).total_seconds
+
+
+class TestPriorityDeadlineDispatch:
+    """LatencyRequest priority/deadline fields steer the dispatcher queue."""
+
+    def test_higher_priority_dispatches_first(self, config):
+        service = make_service(config, autostart=False, max_batch=2)
+        low = service.submit_batch(
+            [LatencyRequest("lightnobel", n) for n in (24, 32, 40, 48)]
+        )
+        high = service.submit(LatencyRequest("h100", 24, priority=3))
+        service.start()
+        high_index = service.result(high, timeout=TIMEOUT).completed_index
+        low_indices = [
+            service.result(t, timeout=TIMEOUT).completed_index for t in low
+        ]
+        service.close()
+        # Submitted last, dispatched first.
+        assert high_index < min(low_indices)
+        # Default-priority requests keep FIFO order among themselves.
+        assert low_indices == sorted(low_indices)
+
+    def test_earlier_deadline_wins_within_a_priority(self, config):
+        service = make_service(config, autostart=False, max_batch=1)
+        no_deadline = service.submit_batch(
+            [LatencyRequest("lightnobel", n) for n in (24, 32, 40)]
+        )
+        late = service.submit(LatencyRequest("h100", 40, deadline_seconds=60.0))
+        soon = service.submit(LatencyRequest("h100", 24, deadline_seconds=0.5))
+        service.start()
+        soon_index = service.result(soon, timeout=TIMEOUT).completed_index
+        late_index = service.result(late, timeout=TIMEOUT).completed_index
+        rest = [service.result(t, timeout=TIMEOUT).completed_index for t in no_deadline]
+        service.close()
+        # Any finite deadline beats no deadline; earlier beats later.
+        assert soon_index < late_index
+        assert late_index < min(rest)
+
+    def test_priority_beats_deadline(self, config):
+        service = make_service(config, autostart=False, max_batch=1)
+        deadline = service.submit(
+            LatencyRequest("lightnobel", 24, deadline_seconds=0.001)
+        )
+        priority = service.submit(LatencyRequest("h100", 24, priority=1))
+        service.start()
+        p = service.result(priority, timeout=TIMEOUT).completed_index
+        d = service.result(deadline, timeout=TIMEOUT).completed_index
+        service.close()
+        assert p < d
+
+    def test_coalesced_duplicate_tightens_job_urgency(self, config):
+        service = make_service(config, autostart=False, max_batch=1)
+        slow = service.submit(LatencyRequest("lightnobel", 24))
+        filler = service.submit(LatencyRequest("lightnobel", 32))
+        # A high-priority duplicate of the first job coalesces onto it and
+        # must drag the shared job ahead of the filler.
+        dup = service.submit(LatencyRequest("lightnobel", 24, priority=9))
+        assert service.queue_depth() == 2
+        service.start()
+        slow_index = service.result(slow, timeout=TIMEOUT).completed_index
+        dup_index = service.result(dup, timeout=TIMEOUT).completed_index
+        filler_index = service.result(filler, timeout=TIMEOUT).completed_index
+        service.close()
+        assert slow_index == dup_index  # one shared job
+        assert slow_index < filler_index
+
+    def test_deadline_validation(self):
+        with pytest.raises(ValueError):
+            LatencyRequest("lightnobel", 24, deadline_seconds=0.0)
+        with pytest.raises(ValueError):
+            LatencyRequest("lightnobel", 24, deadline_seconds=-1.0)
+
+    def test_default_requests_still_complete_in_submission_order(self, config):
+        # The dispatch-order sort is stable for all-default traffic: this is
+        # the same FIFO contract TestQueueOrdering pins, re-checked with a
+        # small max_batch so multiple drains happen.
+        service = make_service(config, autostart=False, max_batch=2)
+        tickets = service.submit_batch(
+            [LatencyRequest("lightnobel", n) for n in (24, 32, 40, 48, 56)]
+        )
+        service.start()
+        order = [service.result(t, timeout=TIMEOUT).completed_index for t in tickets]
+        service.close()
+        assert order == sorted(order)
+
+
+class TestPoolableVariantSpecs:
+    """Duck-typed variant specs only shard when a worker could rebuild them."""
+
+    def test_multichip_over_registry_name_is_poolable(self, config):
+        from repro.cluster import MultiChipVariant
+        from repro.serving.service import _poolable
+
+        assert _poolable(MultiChipVariant(base="lightnobel", chips=2))
+        assert _poolable(MultiChipVariant(base="h100-chunk", chips=4))
+
+    def test_multichip_over_live_backend_is_not_poolable(self, config):
+        from repro.cluster import MultiChipVariant
+        from repro.serving.service import _poolable
+        from repro.sim.backend import AcceleratorBackend
+
+        live = AcceleratorBackend(ppm_config=config)
+        assert not _poolable(MultiChipVariant(base=live, chips=2))
+
+    def test_unpoolable_multichip_job_runs_serially_without_pool_teardown(self, config):
+        from repro.cluster import MultiChipVariant
+        from repro.sim.backend import AcceleratorBackend
+
+        with make_service(config, workers=2) as service:
+            # Warm the pool with ordinary poolable work.
+            service.query_batch([("h100", n) for n in LENGTHS], timeout=TIMEOUT)
+            pool = service._pool
+            assert pool is not None
+            # A node spec wrapping a live backend cannot rebuild in a worker:
+            # it must run serially and leave the healthy pool untouched.
+            live_node = MultiChipVariant(base=AcceleratorBackend(ppm_config=config), chips=2)
+            report = service.query(live_node, LENGTHS[0], timeout=TIMEOUT)
+            assert report.details["chips"] == 2.0
+            assert service._pool is pool
