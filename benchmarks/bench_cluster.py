@@ -15,7 +15,11 @@ import time
 from conftest import print_table
 
 from repro.cluster import (
+    AdmissionController,
+    Autoscaler,
+    FaultSchedule,
     FleetSpec,
+    RecoveryPolicy,
     SLOPolicy,
     bursty_trace,
     mixture_lengths,
@@ -94,3 +98,78 @@ def test_cluster_replay_throughput(benchmark):
             f"{policy} replay throughput regressed: {eps:.0f} events/s "
             f"< {MIN_EVENTS_PER_SECOND:.0f}"
         )
+
+
+#: The closed-loop path pays per-event fault lookups, generation checks and
+#: autoscaler ticks; it must stay within 2x of the healthy event loop so
+#: scenario-grid planning (which replays faults per cell) stays interactive.
+MAX_FAULT_SLOWDOWN = 2.0
+
+
+def test_faulty_replay_stays_within_2x_of_healthy(benchmark):
+    trace, fleet, times = build_inputs()
+    faults = FaultSchedule.generate(
+        FLEET_SIZE,
+        trace.duration_seconds,
+        seed=7,
+        crashes_per_worker=1.0,
+        mean_downtime_seconds=trace.duration_seconds * 0.05,
+        detection_lag_seconds=0.002,
+        stragglers_per_worker=1.0,
+        mean_straggle_seconds=trace.duration_seconds * 0.05,
+    )
+    closed_loop = dict(
+        faults=faults,
+        recovery=RecoveryPolicy(max_retries=2, backoff_base_seconds=0.005),
+        admission=AdmissionController(max_queue_depth=16 * FLEET_SIZE),
+        autoscaler=Autoscaler(
+            min_workers=FLEET_SIZE,
+            max_workers=2 * FLEET_SIZE,
+            interval_seconds=0.05,
+            scale_up_lag_seconds=0.1,
+            slo_target=0.95,
+        ),
+    )
+
+    def replay_both():
+        results = {}
+        for label, kwargs in (("healthy", {}), ("faulty", closed_loop)):
+            start = time.perf_counter()
+            report = replay_trace(
+                trace,
+                fleet,
+                scheduler="edf",
+                service_times=times,
+                same_length_reuse_discount=0.25,
+                **kwargs,
+            )
+            elapsed = time.perf_counter() - start
+            results[label] = (report, report.events_processed / elapsed)
+        return results
+
+    results = benchmark.pedantic(replay_both, rounds=1, iterations=1)
+
+    rows = [("path", "events", "events/s", "completed", "retried", "SLO")]
+    for label, (report, eps) in results.items():
+        rows.append(
+            (
+                label,
+                report.events_processed,
+                f"{eps:10.0f}",
+                report.completed,
+                report.retried,
+                f"{report.slo_attainment:.3f}",
+            )
+        )
+    print_table(
+        f"Fault-aware replay overhead ({NUM_REQUESTS} requests, {FLEET_SIZE} workers)",
+        rows,
+    )
+
+    healthy_eps = results["healthy"][1]
+    faulty_eps = results["faulty"][1]
+    assert faulty_eps >= MIN_EVENTS_PER_SECOND
+    assert faulty_eps * MAX_FAULT_SLOWDOWN >= healthy_eps, (
+        f"fault-aware event loop too slow: {faulty_eps:.0f} events/s vs "
+        f"{healthy_eps:.0f} healthy (> {MAX_FAULT_SLOWDOWN:.0f}x slowdown)"
+    )

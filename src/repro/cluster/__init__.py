@@ -5,7 +5,9 @@ The fourth layer of the simulation stack: PR 1 made one simulation cheap
 disk cache), PR 3 made concurrent queries cheap (the serving layer) — this
 package asks the fleet-level question those layers exist for: **how many
 chips, scheduled how, meet what SLO under realistic protein-length traffic,
-at what cost**.
+at what cost** — and, since PR 6, **what happens when the fleet breaks**:
+workers crash and restart, stragglers appear, links degrade, and the
+closed-loop controllers (admission control, autoscaling) fight back.
 
 Usage
 -----
@@ -37,17 +39,50 @@ Capacity planning (smallest fleet meeting a 95% SLO)::
                          policies=("fifo", "sjf", "bucketed", "edf"))
     plan.minimal_fleet(), plan.cheapest_plan(), plan.attainment_curve("edf")
 
-Replays are bit-deterministic for a fixed trace seed; scheduling policies
-share priority/deadline semantics with the live
+Fault injection and closed-loop control (all optional keyword arguments of
+:func:`replay_trace`; every default preserves the open-loop replay
+bit-for-bit)::
+
+    from repro.cluster import (
+        AdmissionController, Autoscaler, FaultSchedule, RecoveryPolicy,
+    )
+    faults = FaultSchedule.generate(4, trace.duration_seconds, seed=3)
+    report = replay_trace(
+        trace, fleet, scheduler="edf",
+        faults=faults, recovery=RecoveryPolicy(max_retries=2),
+        admission=AdmissionController(max_queue_depth=64),
+        autoscaler=Autoscaler(min_workers=4, max_workers=8, slo_target=0.99),
+    )
+    report.retried, report.shed, report.failed, report.availability
+
+The pinned scenario suite and the headline resilience measurement::
+
+    from repro.cluster import resilience_experiment, scenario_suite
+    summary = resilience_experiment()           # plan, break, close the loop
+    print(*summary.summary_lines(), sep="\\n")
+
+Replays are bit-deterministic for fixed trace/fault seeds; scheduling
+policies share priority/deadline semantics with the live
 :class:`~repro.serving.service.LatencyService` dispatcher.
 """
 
+from .control import ADMIT_ALL, AdmissionController, Autoscaler
 from .des import (
     ClusterReport,
     RequestOutcome,
+    prefetch_communication_seconds,
     prefetch_service_times,
     replay_trace,
     replay_trace_outcomes,
+)
+from .faults import (
+    FAIL_FAST,
+    NO_FAULTS,
+    DegradedLinkWindow,
+    FaultSchedule,
+    RecoveryPolicy,
+    StragglerWindow,
+    WorkerCrash,
 )
 from .fleet import (
     DEFAULT_COST_PER_HOUR,
@@ -55,8 +90,22 @@ from .fleet import (
     MultiChipBackend,
     MultiChipVariant,
     WorkerGroup,
+    WorkerHealth,
 )
-from .planner import CapacityPlan, PlanPoint, plan_capacity
+from .planner import (
+    CapacityPlan,
+    PlanPoint,
+    plan_capacity,
+    plan_capacity_under_scenarios,
+    robust_minimal_fleet,
+)
+from .scenarios import (
+    ClusterScenario,
+    ResilienceSummary,
+    named_scenario,
+    resilience_experiment,
+    scenario_suite,
+)
 from .scheduler import (
     BucketedScheduler,
     EDFScheduler,
@@ -66,6 +115,7 @@ from .scheduler import (
     Scheduler,
     create_scheduler,
     scheduler_name,
+    select_worker,
 )
 from .trace import (
     NO_SLO,
@@ -74,38 +124,60 @@ from .trace import (
     SLOPolicy,
     bursty_trace,
     dataset_lengths,
+    diurnal_trace,
     mixture_lengths,
     poisson_trace,
 )
 
 __all__ = [
+    "ADMIT_ALL",
+    "AdmissionController",
+    "Autoscaler",
     "BucketedScheduler",
     "CapacityPlan",
     "ClusterReport",
+    "ClusterScenario",
     "DEFAULT_COST_PER_HOUR",
+    "DegradedLinkWindow",
     "EDFScheduler",
+    "FAIL_FAST",
     "FIFOScheduler",
+    "FaultSchedule",
     "FleetSpec",
     "MultiChipBackend",
     "MultiChipVariant",
+    "NO_FAULTS",
     "NO_SLO",
     "PlanPoint",
+    "RecoveryPolicy",
     "Request",
     "RequestOutcome",
     "RequestTrace",
+    "ResilienceSummary",
     "SCHEDULERS",
     "SJFScheduler",
     "SLOPolicy",
     "Scheduler",
+    "StragglerWindow",
+    "WorkerCrash",
     "WorkerGroup",
+    "WorkerHealth",
     "bursty_trace",
     "create_scheduler",
     "dataset_lengths",
+    "diurnal_trace",
     "mixture_lengths",
+    "named_scenario",
     "plan_capacity",
+    "plan_capacity_under_scenarios",
     "poisson_trace",
+    "prefetch_communication_seconds",
     "prefetch_service_times",
     "replay_trace",
     "replay_trace_outcomes",
+    "resilience_experiment",
+    "robust_minimal_fleet",
+    "scenario_suite",
     "scheduler_name",
+    "select_worker",
 ]

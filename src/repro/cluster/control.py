@@ -1,0 +1,154 @@
+"""Closed-loop control for the cluster replay: admission control + autoscaling.
+
+Two controllers close the loop the open-loop replay of PR 5 left open:
+
+* :class:`AdmissionController` — a bounded queue with priority-aware load
+  shedding.  During a flash crowd an unbounded queue converts *every*
+  request into an SLO miss (the queue just grows); shedding the overflow —
+  low-priority traffic first — keeps the admitted requests' latencies
+  honest and makes "how much did we turn away" a first-class number
+  (per-class shed accounting in :class:`~repro.cluster.des.ClusterReport`).
+* :class:`Autoscaler` — scales the fleet from *observed* signals (queue
+  depth per worker, rolling SLO attainment), with the two costs real
+  autoscalers pay modeled explicitly: scale-up lag (a provisioned worker
+  takes ``scale_up_lag_seconds`` to arrive) and money (every provisioned
+  worker-hour lands in ``cost_per_million_requests`` via the time-weighted
+  fleet size).
+
+Both are **frozen, stateless decision functions**: the replay owns all
+mutable state (queue, rolling window, pending scale-ups) and calls
+``admits`` / ``desired_delta`` at deterministic instants, so a controlled
+replay is exactly as bit-reproducible as an open-loop one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class AdmissionController:
+    """Bounded queue with priority-aware shedding.
+
+    A request of priority ``p`` is admitted while the scheduler's queue
+    depth is below ``limit(p) = ceil(max_queue_depth * min(1, (p + 1) *
+    priority_depth_fraction))`` — so with the default fraction 0.5,
+    priority-0 traffic is shed once the queue is half full while priority-1
+    (and higher) traffic may fill it completely: the flash-crowd overflow
+    lands on the best-effort class first, and paying traffic keeps its
+    queue headroom.  ``priority_depth_fraction=1.0`` makes shedding
+    priority-oblivious; ``max_queue_depth=None`` admits everything (the
+    open-loop behavior).
+    """
+
+    max_queue_depth: Optional[int] = None
+    priority_depth_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1 (or None)")
+        if not 0.0 < self.priority_depth_fraction <= 1.0:
+            raise ValueError("priority_depth_fraction must be in (0, 1]")
+
+    def depth_limit(self, priority: int) -> Optional[int]:
+        """Queue-depth bound for ``priority``-class arrivals (None = unbounded)."""
+        if self.max_queue_depth is None:
+            return None
+        share = min(1.0, (int(priority) + 1) * self.priority_depth_fraction)
+        return int(ceil(self.max_queue_depth * share))
+
+    def admits(self, priority: int, queue_depth: int) -> bool:
+        """Whether an arrival of ``priority`` joins a queue of ``queue_depth``."""
+        limit = self.depth_limit(priority)
+        return limit is None or queue_depth < limit
+
+
+#: Admit everything — the open-loop behavior, as an explicit object.
+ADMIT_ALL = AdmissionController(max_queue_depth=None)
+
+
+@dataclass(frozen=True)
+class Autoscaler:
+    """Reactive fleet sizing from queue depth and rolling SLO attainment.
+
+    Evaluated every ``interval_seconds`` of simulated time:
+
+    * **scale up** (by ``scale_step``, to at most ``max_workers``) when the
+      queue holds more than ``scale_up_queue_per_worker`` requests per
+      provisioned worker, or when the rolling SLO attainment over the last
+      ``attainment_window`` completions dips below ``slo_target`` — new
+      workers arrive ``scale_up_lag_seconds`` later (provisioning lag) and
+      cost money from the moment they arrive;
+    * **scale down** (to at least ``min_workers``) when the queue is below
+      ``scale_down_queue_per_worker`` per worker *and* attainment is
+      healthy — only idle workers are retired (never mid-request), and
+      retired workers stop accruing cost immediately.
+
+    ``desired_delta`` is a pure function of the observed state, so scaling
+    decisions are deterministic and replayable.
+    """
+
+    min_workers: int = 1
+    max_workers: int = 16
+    interval_seconds: float = 0.5
+    scale_up_queue_per_worker: float = 4.0
+    scale_down_queue_per_worker: float = 0.5
+    slo_target: Optional[float] = None
+    attainment_window: int = 100
+    scale_up_lag_seconds: float = 2.0
+    scale_step: int = 1
+
+    def __post_init__(self) -> None:
+        if self.min_workers < 1:
+            raise ValueError("min_workers must be >= 1")
+        if self.max_workers < self.min_workers:
+            raise ValueError("max_workers must be >= min_workers")
+        if self.interval_seconds <= 0:
+            raise ValueError("interval_seconds must be positive")
+        if self.scale_up_queue_per_worker <= self.scale_down_queue_per_worker:
+            raise ValueError(
+                "scale_up_queue_per_worker must exceed scale_down_queue_per_worker"
+            )
+        if self.slo_target is not None and not 0.0 < self.slo_target <= 1.0:
+            raise ValueError("slo_target must be in (0, 1] (or None)")
+        if self.attainment_window < 1:
+            raise ValueError("attainment_window must be >= 1")
+        if self.scale_up_lag_seconds < 0:
+            raise ValueError("scale_up_lag_seconds must be >= 0")
+        if self.scale_step < 1:
+            raise ValueError("scale_step must be >= 1")
+
+    def desired_delta(
+        self,
+        queue_depth: int,
+        active_workers: int,
+        pending_scale_ups: int,
+        rolling_attainment: float,
+    ) -> int:
+        """Worker-count change to request at this tick (may be negative).
+
+        ``active_workers`` counts alive, non-retired workers;
+        ``pending_scale_ups`` counts requested-but-not-yet-arrived workers
+        (they already absorb future load, so the up-trigger considers them —
+        no thundering re-request every tick of the provisioning lag).
+        """
+        provisioned = active_workers + pending_scale_ups
+        if provisioned < self.min_workers:
+            return self.min_workers - provisioned
+        attainment_low = (
+            self.slo_target is not None and rolling_attainment < self.slo_target
+        )
+        queue_high = queue_depth > self.scale_up_queue_per_worker * max(provisioned, 1)
+        if (queue_high or attainment_low) and provisioned < self.max_workers:
+            return min(self.scale_step, self.max_workers - provisioned)
+        queue_low = queue_depth < self.scale_down_queue_per_worker * max(active_workers, 1)
+        if (
+            queue_low
+            and not attainment_low
+            and pending_scale_ups == 0
+            and active_workers > self.min_workers
+        ):
+            return -min(self.scale_step, active_workers - self.min_workers)
+        return 0

@@ -14,14 +14,21 @@ The split keeps replay cheap and bit-deterministic:
    :class:`~repro.serving.service.LatencyService`, or sharded across
    :func:`repro.sim.sweep.sweep` with ``workers > 1``) — the only stage that
    touches a simulator.
-2. **Replay** — a pure-Python event loop over a heap of arrivals and
-   completions.  Ties break on (time, kind, sequence) and idle workers are
-   claimed lowest-id-first, so a given (trace, fleet, policy) replays to the
-   bit-identical :class:`ClusterReport` on every run, machine and process —
-   the property the golden tests pin.
+2. **Replay** — a pure-Python event loop over a heap of arrivals,
+   completions and (when closed-loop features are on) crash / recovery /
+   retry / scale events.  Ties break on (time, kind, sequence) and idle
+   workers are claimed lowest-id-first, so a given (trace, fleet, policy,
+   faults, controllers) tuple replays to the bit-identical
+   :class:`ClusterReport` on every run, machine and process — the property
+   the golden tests pin.
 
 Requests whose backend reports out-of-memory at their length are *dropped*
 (counted, and counted against SLO attainment), never silently served.
+Drops split into three buckets — ``oom_dropped`` (backend cannot serve the
+length), ``shed`` (turned away by the :class:`~repro.cluster.control.AdmissionController`),
+and ``failed`` (lost to a crash past the retry budget, or starved behind a
+permanently dead fleet) — with ``dropped`` remaining their sum, so
+``drop_rate`` means what it always did.
 
 ``same_length_reuse_discount`` models the shape-reuse effect the lower
 layers measure directly (a cached operator table / compiled shape makes a
@@ -30,12 +37,34 @@ whose *previous* request had the same length runs at a discount, and the
 dispatcher prefers shape-matching idle workers.  Length-aware schedulers
 form same-length runs and harvest the discount; FIFO interleaves shapes and
 mostly does not — the capacity argument for length-bucketed batching.
+
+Closed-loop extensions (all optional; every default preserves the open-loop
+replay bit-for-bit):
+
+* ``faults=`` a :class:`~repro.cluster.faults.FaultSchedule` injects worker
+  crashes (in-flight work lost, detected after a lag, requeued under the
+  ``recovery=`` :class:`~repro.cluster.faults.RecoveryPolicy`), straggler
+  windows (dispatch reroutes around them via
+  :func:`~repro.cluster.scheduler.select_worker`; an unavoidable straggler
+  serves slower), and degraded-link windows (requests on a multi-chip group
+  pay the interconnect delta of
+  :meth:`~repro.cluster.fleet.MultiChipBackend.degraded_communication_seconds`).
+* ``admission=`` an :class:`~repro.cluster.control.AdmissionController`
+  bounds the queue with priority-aware shedding.
+* ``autoscaler=`` an :class:`~repro.cluster.control.Autoscaler` resizes the
+  fleet at fixed simulated-time ticks from observed queue depth and rolling
+  SLO attainment, with scale-up lag; the report then prices the replay by
+  time-weighted provisioned worker-hours instead of the static fleet rate.
+
+Fault schedules address *base-fleet* worker ids; autoscaled workers never
+crash or straggle (the conservative-for-the-autoscaler simplification).
 """
 
 from __future__ import annotations
 
 import heapq
 from bisect import insort
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple, TYPE_CHECKING
 
@@ -43,28 +72,46 @@ from ..ppm.config import PPMConfig
 from ..serving.stats import percentile
 from ..sim.session import SimulationSession, session_for
 from ..sim.sweep import SweepPoint, sweep
-from .fleet import FleetSpec
-from .scheduler import SchedulerSpec, create_scheduler, scheduler_name
+from .control import AdmissionController, Autoscaler
+from .faults import FaultSchedule, RecoveryPolicy
+from .fleet import FleetSpec, MultiChipVariant, WorkerHealth
+from .scheduler import SchedulerSpec, create_scheduler, scheduler_name, select_worker
 from .trace import RequestTrace
 
 if TYPE_CHECKING:  # service routing is optional; avoid an import cycle at runtime
     from ..serving.service import LatencyService
 
-#: Completion events order before arrivals at the same timestamp, so a worker
-#: freed at time t can serve a request arriving at exactly t.
-_COMPLETION, _ARRIVAL = 0, 1
+#: Event kinds, in tie-break order at one timestamp.  Completions order
+#: before arrivals so a worker freed at time t can serve a request arriving
+#: at exactly t (the PR 5 invariant — no-fault replays only ever see
+#: ``_COMPLETION`` and ``_ARRIVAL``, whose relative order is preserved).
+#: Recoveries and arrived scale-ups land *before* arrivals (capacity that
+#: comes back at t serves traffic arriving at t); retries land after
+#: arrivals (a requeued request queues behind a same-instant fresh arrival);
+#: autoscaler ticks observe everything else that happened at their instant.
+_COMPLETION, _RECOVER, _CRASH, _SCALE_UP, _ARRIVAL, _RETRY, _AUTOSCALE = range(7)
 
 
 @dataclass(frozen=True)
 class ClusterReport:
     """Fleet-level outcome of one trace replay (the capacity-planning unit).
 
-    ``utilization`` maps each worker-group label to busy-time over
-    ``makespan * workers``; ``slo_attainment`` is the fraction of *all*
-    requests (dropped ones included) that completed within their deadline —
-    deadline-free requests count as met when completed.
-    ``cost_per_million_requests`` prices the replay at the fleet's hourly
-    rate over the makespan.
+    ``utilization`` maps each worker-group label to busy-time over the
+    group's provisioned capacity (``makespan * workers`` open-loop;
+    time-weighted provisioned seconds under an autoscaler);
+    ``slo_attainment`` is the fraction of *all* requests (dropped ones
+    included) that completed within their deadline — deadline-free requests
+    count as met when completed.  ``cost_per_million_requests`` prices the
+    replay at the fleet's hourly rate over the makespan (open-loop) or over
+    provisioned worker-hours (autoscaled).
+
+    Resilience accounting: ``dropped == oom_dropped + shed + failed``;
+    ``retried`` counts requeues after crashes (a request retried twice
+    counts twice); ``downtime_seconds`` is summed worker-seconds spent dead;
+    ``availability`` is provisioned-minus-dead over provisioned worker-time.
+    ``mean_fleet_size`` / ``peak_fleet_size`` / ``worker_hours`` describe
+    the provisioned fleet over time (constant open-loop, varying under an
+    autoscaler).
     """
 
     trace_name: str
@@ -90,15 +137,35 @@ class ClusterReport:
     per_priority_attainment: Mapping[int, float] = field(default_factory=dict)
     cost_per_million_requests: float = 0.0
     events_processed: int = 0
+    retried: int = 0
+    shed: int = 0
+    oom_dropped: int = 0
+    failed: int = 0
+    downtime_seconds: float = 0.0
+    availability: float = 1.0
+    mean_fleet_size: float = 0.0
+    peak_fleet_size: int = 0
+    worker_hours: float = 0.0
+    shed_by_priority: Mapping[int, int] = field(default_factory=dict)
 
     @property
     def drop_rate(self) -> float:
         return self.dropped / self.requests if self.requests else 0.0
 
+    @property
+    def admitted(self) -> int:
+        """Requests past admission control (the shed-conservation partner)."""
+        return self.requests - self.shed
+
 
 #: (group index, sequence length) -> service seconds, or None when the
 #: backend cannot serve that length (out of memory).
 ServiceTimes = Dict[Tuple[int, int], Optional[float]]
+
+#: (group index, sequence length) -> healthy per-request interconnect
+#: seconds (0.0 for single-chip groups) — the base the degraded-link
+#: surcharge scales from.
+CommunicationTimes = Dict[Tuple[int, int], float]
 
 
 def prefetch_service_times(
@@ -157,9 +224,47 @@ def prefetch_service_times(
     return times
 
 
+def prefetch_communication_seconds(
+    trace: RequestTrace,
+    fleet: FleetSpec,
+    ppm_config: Optional[PPMConfig] = None,
+) -> CommunicationTimes:
+    """Healthy per-request interconnect time for every (group, length) pair.
+
+    Pure arithmetic (no simulator): multi-chip groups report
+    :meth:`~repro.cluster.fleet.MultiChipBackend.communication_seconds`,
+    single-chip groups report 0.0 — which is why degraded-link fault windows
+    cannot touch them.  The faulty replay charges
+    ``comm * (1 / bandwidth_factor - 1)`` on top of the healthy prefetched
+    service time, so fault injection never re-simulates anything.
+    """
+    lengths = trace.distinct_lengths()
+    times: CommunicationTimes = {}
+    for gi, group in enumerate(fleet.groups):
+        spec = group.backend
+        backend = None
+        if callable(getattr(spec, "communication_seconds", None)):
+            backend = spec
+        elif isinstance(spec, MultiChipVariant):
+            backend = spec.build(ppm_config)
+        for n in lengths:
+            times[(gi, n)] = (
+                backend.communication_seconds(n) if backend is not None else 0.0
+            )
+    return times
+
+
 @dataclass(frozen=True)
 class RequestOutcome:
-    """Per-request record of one replay (policy-invariant tests read these)."""
+    """Per-request record of one replay (policy-invariant tests read these).
+
+    ``drop_reason`` is ``None`` for served requests and one of ``"oom"``,
+    ``"shed"``, ``"failed"`` or ``"starved"`` for dropped ones (``"failed"``
+    is a crash past the retry budget; ``"starved"`` is a request still
+    queued when the replay ends with no worker ever able to serve it — both
+    land in the report's ``failed`` bucket).  ``retries`` counts how many
+    times a crash requeued this request before it completed or was dropped.
+    """
 
     request_id: int
     sequence_length: int
@@ -169,6 +274,8 @@ class RequestOutcome:
     finish_seconds: float
     met_deadline: bool
     dropped: bool = False
+    drop_reason: Optional[str] = None
+    retries: int = 0
 
     @property
     def latency_seconds(self) -> float:
@@ -190,6 +297,11 @@ def replay_trace(
     dispatch_overhead_seconds: float = 0.0,
     same_length_reuse_discount: float = 0.0,
     service_times: Optional[ServiceTimes] = None,
+    faults: Optional[FaultSchedule] = None,
+    recovery: Optional[RecoveryPolicy] = None,
+    admission: Optional[AdmissionController] = None,
+    autoscaler: Optional[Autoscaler] = None,
+    communication_times: Optional[CommunicationTimes] = None,
 ) -> ClusterReport:
     """Replay ``trace`` against ``fleet`` under ``scheduler``; emit a report.
 
@@ -199,6 +311,10 @@ def replay_trace(
     to every service; ``same_length_reuse_discount`` (in [0, 1)) is the
     service-time fraction saved when a worker serves the same length twice in
     a row (shape/table reuse — 0 models a stateless worker).
+
+    ``faults`` / ``recovery`` / ``admission`` / ``autoscaler`` switch on the
+    closed-loop extensions (see the module docstring); all default to off,
+    in which case the replay is bit-identical to the open-loop one.
     """
     report, _ = replay_trace_outcomes(
         trace,
@@ -211,6 +327,11 @@ def replay_trace(
         dispatch_overhead_seconds=dispatch_overhead_seconds,
         same_length_reuse_discount=same_length_reuse_discount,
         service_times=service_times,
+        faults=faults,
+        recovery=recovery,
+        admission=admission,
+        autoscaler=autoscaler,
+        communication_times=communication_times,
     )
     return report
 
@@ -226,15 +347,41 @@ def replay_trace_outcomes(
     dispatch_overhead_seconds: float = 0.0,
     same_length_reuse_discount: float = 0.0,
     service_times: Optional[ServiceTimes] = None,
+    faults: Optional[FaultSchedule] = None,
+    recovery: Optional[RecoveryPolicy] = None,
+    admission: Optional[AdmissionController] = None,
+    autoscaler: Optional[Autoscaler] = None,
+    communication_times: Optional[CommunicationTimes] = None,
 ) -> Tuple[ClusterReport, Tuple[RequestOutcome, ...]]:
     """:func:`replay_trace` plus the per-request :class:`RequestOutcome` log."""
     if not 0.0 <= same_length_reuse_discount < 1.0:
         raise ValueError("same_length_reuse_discount must be in [0, 1)")
+    if faults is not None and not faults:
+        faults = None  # an empty schedule IS the healthy path, bit-for-bit
+    if faults is not None and recovery is None:
+        recovery = RecoveryPolicy()
+    if admission is not None and admission.max_queue_depth is None:
+        admission = None  # admit-everything IS the open-loop path
+    if autoscaler is not None and len(fleet.groups) != 1:
+        raise ValueError("the autoscaler requires a homogeneous fleet")
     policy = create_scheduler(scheduler)
     if service_times is None:
         service_times = prefetch_service_times(
             trace, fleet, ppm_config=ppm_config, session=session,
             service=service, workers=workers,
+        )
+    if (
+        faults is not None
+        and faults.degraded_links
+        and communication_times is None
+    ):
+        cfg = ppm_config
+        if cfg is None and session is not None:
+            cfg = session.ppm_config
+        if cfg is None and service is not None:
+            cfg = service.session.ppm_config
+        communication_times = prefetch_communication_seconds(
+            trace, fleet, ppm_config=cfg
         )
 
     group_of = fleet.worker_groups()
@@ -248,82 +395,165 @@ def replay_trace_outcomes(
             events, (request.arrival_seconds, _ARRIVAL, counter, request)
         )
         counter += 1
+    if faults is not None:
+        for crash in faults.crashes:
+            if crash.worker_id < num_workers:
+                heapq.heappush(
+                    events, (crash.at_seconds, _CRASH, counter, crash)
+                )
+                counter += 1
+    #: Non-tick events pending in the heap — the autoscaler's "is there
+    #: still anything to react to" signal (ticks never count themselves,
+    #: or the loop would self-sustain forever).
+    pending_non_tick = counter
+    if autoscaler is not None:
+        heapq.heappush(
+            events, (autoscaler.interval_seconds, _AUTOSCALE, counter, None)
+        )
+        counter += 1
 
     idle: List[int] = list(range(num_workers))  # kept sorted (lowest id first)
     busy_seconds = [0.0] * num_workers
     last_length: List[Optional[int]] = [None] * num_workers
+    health: List[WorkerHealth] = [WorkerHealth.HEALTHY] * num_workers
+    generation = [0] * num_workers  # bumped per crash; stale-completion guard
+    warmup_extra = [0.0] * num_workers
+    provision_start = [0.0] * num_workers
+    running: Dict[int, Tuple[object, float, float]] = {}  # worker -> (req, start, finish)
+    down_since: Dict[int, float] = {}
+    attempts: Dict[int, int] = {}  # request id -> crash-requeues so far
 
     outcomes: List[RequestOutcome] = []
     latencies: List[float] = []
     waits: List[float] = []
     met_by_priority: Dict[int, int] = {}
     total_by_priority: Dict[int, int] = {}
+    shed_by_priority: Dict[int, int] = {}
     completed = dropped = deadlines_missed = 0
+    retried = shed = oom_dropped = failed = 0
     events_processed = 0
     max_queue_depth = 0
     queue_depth_sum = 0
     last_time = trace.duration_seconds
+    in_flight = 0
+    pending_up = 0  # requested-but-not-yet-arrived autoscaler workers
+    provisioned_done = 0.0  # worker-seconds of already-retired workers
+    active_count = num_workers  # provisioned (non-retired) workers right now
+    peak_fleet = num_workers
+    downtime_total = 0.0
+    recent_met: deque = deque(maxlen=autoscaler.attainment_window if autoscaler else 1)
 
-    def claim_worker(length: int) -> int:
-        """Lowest-id idle worker, preferring one whose last shape matches."""
-        if same_length_reuse_discount > 0.0:
-            for position, worker in enumerate(idle):
-                if last_length[worker] == length:
-                    return idle.pop(position)
-        return idle.pop(0)
+    def record_drop(request, now: float, reason: str, start: Optional[float] = None) -> None:
+        nonlocal dropped, deadlines_missed, shed, oom_dropped, failed
+        dropped += 1
+        if reason == "shed":
+            shed += 1
+            shed_by_priority[request.priority] = (
+                shed_by_priority.get(request.priority, 0) + 1
+            )
+        elif reason == "oom":
+            oom_dropped += 1
+        else:  # "failed" or "starved" — the lost-to-the-fleet bucket
+            failed += 1
+        total_by_priority[request.priority] = (
+            total_by_priority.get(request.priority, 0) + 1
+        )
+        if request.deadline_seconds is not None:
+            deadlines_missed += 1
+        if autoscaler is not None:
+            recent_met.append(0)
+        outcomes.append(
+            RequestOutcome(
+                request_id=request.id,
+                sequence_length=request.sequence_length,
+                priority=request.priority,
+                arrival_seconds=request.arrival_seconds,
+                start_seconds=start if start is not None else now,
+                finish_seconds=now,
+                met_deadline=False,
+                dropped=True,
+                drop_reason=reason,
+                retries=attempts.get(request.id, 0),
+            )
+        )
 
     def dispatch(now: float) -> None:
-        nonlocal counter, dropped, deadlines_missed
+        nonlocal counter, in_flight, pending_non_tick
+        straggling = faults.straggling_workers(now) if faults is not None else frozenset()
         while idle and len(policy):
             request = policy.pop(now)
-            worker = claim_worker(request.sequence_length)
-            seconds = service_times[
-                (group_of[worker], request.sequence_length)
-            ]
+            worker = select_worker(
+                idle,
+                request.sequence_length,
+                last_length,
+                same_length_reuse_discount > 0.0,
+                straggling,
+            )
+            gi = group_of[worker]
+            seconds = service_times[(gi, request.sequence_length)]
             if seconds is None:
                 # The claimed worker's group cannot serve this length; with
                 # heterogeneous fleets a smarter router could retry another
                 # group, but the baseline replay models group-oblivious
                 # dispatch.  The worker itself stays idle.
                 insort(idle, worker)
-                dropped += 1
-                total_by_priority[request.priority] = (
-                    total_by_priority.get(request.priority, 0) + 1
-                )
-                if request.deadline_seconds is not None:
-                    deadlines_missed += 1
-                outcomes.append(
-                    RequestOutcome(
-                        request_id=request.id,
-                        sequence_length=request.sequence_length,
-                        priority=request.priority,
-                        arrival_seconds=request.arrival_seconds,
-                        start_seconds=now,
-                        finish_seconds=now,
-                        met_deadline=False,
-                        dropped=True,
-                    )
-                )
+                record_drop(request, now, "oom")
                 continue
             if last_length[worker] == request.sequence_length:
                 seconds *= 1.0 - same_length_reuse_discount
             last_length[worker] = request.sequence_length
+            if faults is not None:
+                slowdown = faults.slowdown_at(worker, now)
+                if slowdown != 1.0:
+                    seconds *= slowdown
+                link_factor = faults.link_factor_at(gi, now)
+                if link_factor < 1.0 and communication_times is not None:
+                    comm = communication_times[(gi, request.sequence_length)]
+                    seconds += comm * (1.0 / link_factor - 1.0)
+            extra = warmup_extra[worker]
+            if extra:
+                warmup_extra[worker] = 0.0
+            if health[worker] is WorkerHealth.WARMING:
+                health[worker] = WorkerHealth.HEALTHY
             start = now
-            finish = start + dispatch_overhead_seconds + seconds
-            busy_seconds[worker] += dispatch_overhead_seconds + seconds
+            finish = start + dispatch_overhead_seconds + seconds + extra
+            busy_seconds[worker] += dispatch_overhead_seconds + seconds + extra
+            running[worker] = (request, start, finish)
+            in_flight += 1
             heapq.heappush(
-                events, (finish, _COMPLETION, counter, (worker, request, start))
+                events,
+                (finish, _COMPLETION, counter,
+                 (worker, generation[worker], request, start)),
             )
             counter += 1
+            pending_non_tick += 1
 
     while events:
         time_now, kind, _, payload = heapq.heappop(events)
+        if kind != _AUTOSCALE:
+            pending_non_tick -= 1
+        if kind == _COMPLETION:
+            worker, gen, request, start = payload
+            if gen != generation[worker]:
+                continue  # the worker crashed mid-service; the crash handled it
         events_processed += 1
-        last_time = max(last_time, time_now)
+        if kind in (_COMPLETION, _ARRIVAL, _RETRY):
+            # Control-plane events (crashes, recoveries, scale changes,
+            # ticks) move state but not the clock the makespan reads — a
+            # restart long after the last request must not inflate it.
+            last_time = max(last_time, time_now)
         if kind == _ARRIVAL:
-            policy.push(payload)
-        else:
-            worker, request, start = payload
+            if admission is not None and not admission.admits(
+                payload.priority, len(policy)
+            ):
+                record_drop(payload, time_now, "shed")
+            else:
+                policy.push(payload)
+        elif kind == _RETRY:
+            policy.push(payload)  # retries bypass admission: already accepted
+        elif kind == _COMPLETION:
+            running.pop(worker, None)
+            in_flight -= 1
             insort(idle, worker)
             completed += 1
             latency = time_now - request.arrival_seconds
@@ -342,6 +572,8 @@ def replay_trace_outcomes(
                 met_by_priority[request.priority] = (
                     met_by_priority.get(request.priority, 0) + 1
                 )
+            if autoscaler is not None:
+                recent_met.append(1 if met else 0)
             outcomes.append(
                 RequestOutcome(
                     request_id=request.id,
@@ -351,21 +583,155 @@ def replay_trace_outcomes(
                     start_seconds=start,
                     finish_seconds=time_now,
                     met_deadline=met,
+                    retries=attempts.get(request.id, 0),
                 )
             )
+        elif kind == _CRASH:
+            crash = payload
+            w = crash.worker_id
+            if health[w] in (WorkerHealth.HEALTHY, WorkerHealth.WARMING):
+                health[w] = WorkerHealth.DEAD
+                generation[w] += 1
+                down_since[w] = time_now
+                if w in idle:
+                    idle.remove(w)
+                victim = running.pop(w, None)
+                if victim is not None:
+                    request, start, finish = victim
+                    in_flight -= 1
+                    busy_seconds[w] -= finish - time_now  # unserved remainder
+                    detect = time_now + crash.detection_lag_seconds
+                    used = attempts.get(request.id, 0)
+                    if recovery.gives_up(used):
+                        record_drop(request, detect, "failed", start=start)
+                    else:
+                        attempts[request.id] = used + 1
+                        retried += 1
+                        heapq.heappush(
+                            events,
+                            (detect + recovery.backoff_seconds(used),
+                             _RETRY, counter, request),
+                        )
+                        counter += 1
+                        pending_non_tick += 1
+                if crash.restart_after_seconds is not None:
+                    heapq.heappush(
+                        events,
+                        (time_now + crash.restart_after_seconds,
+                         _RECOVER, counter, crash),
+                    )
+                    counter += 1
+                    pending_non_tick += 1
+        elif kind == _RECOVER:
+            crash = payload
+            w = crash.worker_id
+            if health[w] is WorkerHealth.DEAD:
+                downtime_total += time_now - down_since.pop(w)
+                warmup_extra[w] = crash.warmup_seconds
+                health[w] = (
+                    WorkerHealth.WARMING if crash.warmup_seconds > 0
+                    else WorkerHealth.HEALTHY
+                )
+                last_length[w] = None  # restarted cold: no shape to reuse
+                insort(idle, w)
+        elif kind == _SCALE_UP:
+            pending_up -= 1
+            w = len(group_of)
+            group_of.append(0)
+            busy_seconds.append(0.0)
+            last_length.append(None)
+            health.append(WorkerHealth.HEALTHY)
+            generation.append(0)
+            warmup_extra.append(0.0)
+            provision_start.append(time_now)
+            active_count += 1
+            peak_fleet = max(peak_fleet, active_count)
+            insort(idle, w)
+        elif kind == _AUTOSCALE:
+            window = len(recent_met)
+            attainment = sum(recent_met) / window if window else 1.0
+            alive = sum(
+                1 for h in health
+                if h in (WorkerHealth.HEALTHY, WorkerHealth.WARMING)
+            )
+            delta = autoscaler.desired_delta(
+                len(policy), alive, pending_up, attainment
+            )
+            if delta > 0:
+                arrive = time_now + autoscaler.scale_up_lag_seconds
+                for _ in range(delta):
+                    heapq.heappush(events, (arrive, _SCALE_UP, counter, None))
+                    counter += 1
+                    pending_non_tick += 1
+                    pending_up += 1
+            elif delta < 0:
+                # Retire idle healthy workers only, highest id first — never
+                # a busy, warming, or dead one (a dead worker may still owe
+                # a restart; retiring it would double-account its lifetime).
+                retirable = [
+                    w for w in reversed(idle)
+                    if health[w] is WorkerHealth.HEALTHY
+                ][:-delta]
+                for w in retirable:
+                    idle.remove(w)
+                    health[w] = WorkerHealth.RETIRED
+                    provisioned_done += time_now - provision_start[w]
+                    active_count -= 1
+            if pending_non_tick > 0 or len(policy) > 0 or in_flight > 0:
+                heapq.heappush(
+                    events,
+                    (time_now + autoscaler.interval_seconds,
+                     _AUTOSCALE, counter, None),
+                )
+                counter += 1
         dispatch(time_now)
         depth = len(policy)
         max_queue_depth = max(max_queue_depth, depth)
         queue_depth_sum += depth
 
     makespan = last_time
+    # Requests still queued were starved: every remaining worker is dead
+    # with no restart coming (or retired), so nothing will ever serve them.
+    while len(policy):
+        request = policy.pop(makespan)
+        record_drop(request, makespan, "starved")
+    for w, since in down_since.items():
+        downtime_total += max(0.0, makespan - since)
+    total_workers = len(group_of)
+    provisioned_total = provisioned_done + sum(
+        max(0.0, makespan - provision_start[w])
+        for w in range(total_workers)
+        if health[w] is not WorkerHealth.RETIRED
+    )
+
     requests = len(trace)
     utilization = {}
     for index, label in enumerate(labels):
         members = [w for w, g in enumerate(group_of) if g == index]
         busy = sum(busy_seconds[w] for w in members)
-        capacity = len(members) * makespan
+        if autoscaler is None:
+            capacity = len(members) * makespan
+        else:
+            capacity = provisioned_total  # homogeneous: one group owns it all
         utilization[label] = busy / capacity if capacity > 0 else 0.0
+
+    if autoscaler is None:
+        cost = (
+            fleet.cost_per_hour * (makespan / 3600.0) / completed * 1e6
+            if completed
+            else 0.0
+        )
+        worker_hours = num_workers * makespan / 3600.0
+        mean_fleet = float(num_workers)
+    else:
+        per_worker_rate = fleet.groups[0].hourly_cost / fleet.groups[0].count
+        cost = (
+            per_worker_rate * (provisioned_total / 3600.0) / completed * 1e6
+            if completed
+            else 0.0
+        )
+        worker_hours = provisioned_total / 3600.0
+        mean_fleet = provisioned_total / makespan if makespan > 0 else float(num_workers)
 
     attained = sum(met_by_priority.values())
     report = ClusterReport(
@@ -393,11 +759,21 @@ def replay_trace_outcomes(
             priority: met_by_priority.get(priority, 0) / total
             for priority, total in sorted(total_by_priority.items())
         },
-        cost_per_million_requests=(
-            fleet.cost_per_hour * (makespan / 3600.0) / completed * 1e6
-            if completed
-            else 0.0
-        ),
+        cost_per_million_requests=cost,
         events_processed=events_processed,
+        retried=retried,
+        shed=shed,
+        oom_dropped=oom_dropped,
+        failed=failed,
+        downtime_seconds=downtime_total,
+        availability=(
+            max(0.0, 1.0 - downtime_total / provisioned_total)
+            if provisioned_total > 0
+            else 1.0
+        ),
+        mean_fleet_size=mean_fleet,
+        peak_fleet_size=peak_fleet,
+        worker_hours=worker_hours,
+        shed_by_priority=dict(sorted(shed_by_priority.items())),
     )
     return report, tuple(outcomes)

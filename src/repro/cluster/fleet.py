@@ -23,6 +23,7 @@ times for each group's backend through the shared simulation session.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from enum import Enum
 from typing import Any, List, Optional, Tuple
 
 from .._digest import stable_digest
@@ -30,6 +31,24 @@ from ..hardware.interconnect import ChipLinkSpec
 from ..ppm.config import PPMConfig
 from ..ppm.op_table import OperatorTable, get_op_table
 from ..sim.backend import LatencyBackend, SimReport, create_backend
+
+
+class WorkerHealth(Enum):
+    """Lifecycle state of one worker during a closed-loop replay.
+
+    ``HEALTHY`` serves traffic at nominal speed; ``WARMING`` is a restarted
+    worker whose first request pays the crash's warm-up surcharge; ``DEAD``
+    is crashed and (maybe) awaiting restart — still provisioned, still
+    costing money, serving nothing; ``RETIRED`` was removed by the
+    autoscaler and stopped costing the moment it left.  Straggling is a
+    *window* property of the fault schedule, not a state transition — a
+    straggler is HEALTHY hardware running slow.
+    """
+
+    HEALTHY = "healthy"
+    WARMING = "warming"
+    DEAD = "dead"
+    RETIRED = "retired"
 
 
 class MultiChipBackend:
@@ -92,6 +111,22 @@ class MultiChipBackend:
             out_of_memory=inner.out_of_memory,
             details=details,
         )
+
+    def degraded_communication_seconds(
+        self, sequence_length: int, bandwidth_factor: float
+    ) -> float:
+        """Interconnect time when the link runs at ``bandwidth_factor`` of nominal.
+
+        The whole collective cost (port bandwidth *and* protocol latency)
+        scales by ``1 / bandwidth_factor`` — a flaky link retries its
+        protocol handshakes too.  The degraded-link fault windows of
+        :class:`repro.cluster.faults.DegradedLinkWindow` charge exactly this
+        delta over the healthy prefetch, so faulty replays stay pure
+        arithmetic over prefetched numbers.
+        """
+        if not 0.0 < bandwidth_factor <= 1.0:
+            raise ValueError("bandwidth_factor must be in (0, 1]")
+        return self.communication_seconds(sequence_length) / bandwidth_factor
 
     def parallel_efficiency(self, sequence_length: int) -> float:
         """Achieved speedup over one chip, divided by the chip count.

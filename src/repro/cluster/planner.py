@@ -21,7 +21,7 @@ Python and deterministic, so a plan is exactly reproducible.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from ..ppm.config import PPMConfig
 from ..sim.session import SimulationSession
@@ -30,8 +30,9 @@ from .fleet import FleetSpec
 from .scheduler import SchedulerSpec, scheduler_name
 from .trace import RequestTrace
 
-if TYPE_CHECKING:  # optional routing, kept import-cycle free
+if TYPE_CHECKING:  # optional routing + scenarios, kept import-cycle free
     from ..serving.service import LatencyService
+    from .scenarios import ClusterScenario
 
 
 @dataclass(frozen=True)
@@ -159,4 +160,117 @@ def plan_capacity(
             )
     return CapacityPlan(
         trace_name=trace.name, slo_target=slo_target, points=tuple(points)
+    )
+
+
+def plan_capacity_under_scenarios(
+    scenarios: Sequence["ClusterScenario"],
+    base_fleet: Optional[FleetSpec] = None,
+    fleet_sizes: Sequence[int] = (1, 2, 4, 8),
+    policies: Sequence[SchedulerSpec] = ("fifo", "edf"),
+    slo_target: float = 0.95,
+    ppm_config: Optional[PPMConfig] = None,
+    session: Optional[SimulationSession] = None,
+    service: Optional["LatencyService"] = None,
+    workers: Optional[int] = None,
+    dispatch_overhead_seconds: float = 0.0,
+    same_length_reuse_discount: float = 0.0,
+) -> Dict[str, CapacityPlan]:
+    """One :class:`CapacityPlan` per scenario, sharing prefetches across them.
+
+    The scenario-aware sibling of :func:`plan_capacity`: every
+    :class:`~repro.cluster.scenarios.ClusterScenario` replays the full
+    (fleet size x policy) grid *with its faults and controllers applied*, so
+    a plan answers "how big must the fleet be to survive this situation",
+    not just "to serve this traffic".  Scenarios sharing a trace (the pinned
+    suite does) share one service-time prefetch.  Feed the result to
+    :func:`robust_minimal_fleet` for the fleet that survives *every*
+    scenario.
+    """
+    if not 0.0 < slo_target <= 1.0:
+        raise ValueError("slo_target must be in (0, 1]")
+    base_fleet = base_fleet or FleetSpec.homogeneous("lightnobel", 1)
+    if len(base_fleet.groups) != 1:
+        raise ValueError("base_fleet must be homogeneous for a fleet-size sweep")
+    sizes = sorted(dict.fromkeys(int(s) for s in fleet_sizes))
+    times_by_trace: Dict[str, object] = {}
+    plans: Dict[str, CapacityPlan] = {}
+    for scenario in scenarios:
+        digest = scenario.trace.config_digest()
+        if digest not in times_by_trace:
+            times_by_trace[digest] = prefetch_service_times(
+                scenario.trace,
+                base_fleet,
+                ppm_config=ppm_config,
+                session=session,
+                service=service,
+                workers=workers,
+            )
+        times = times_by_trace[digest]
+        points: List[PlanPoint] = []
+        for size in sizes:
+            fleet = base_fleet.with_size(size)
+            for policy in policies:
+                fresh = getattr(policy, "fresh", None)
+                cell_policy = (
+                    fresh()
+                    if callable(fresh) and not isinstance(policy, type)
+                    else policy
+                )
+                report = scenario.replay(
+                    fleet,
+                    scheduler=cell_policy,
+                    service_times=times,
+                    dispatch_overhead_seconds=dispatch_overhead_seconds,
+                    same_length_reuse_discount=same_length_reuse_discount,
+                )
+                points.append(
+                    PlanPoint(
+                        fleet=fleet, policy=scheduler_name(policy), report=report
+                    )
+                )
+        plans[scenario.name] = CapacityPlan(
+            trace_name=scenario.trace.name,
+            slo_target=slo_target,
+            points=tuple(points),
+        )
+    return plans
+
+
+def robust_minimal_fleet(
+    plans: Mapping[str, CapacityPlan],
+    policy: Optional[str] = None,
+) -> Optional[PlanPoint]:
+    """Smallest (fleet size, policy) cell meeting its target in *every* plan.
+
+    Attainment is not guaranteed monotone in fleet size under faults (a
+    bigger fleet draws a different fault overlap), so this intersects the
+    grids cell-by-cell rather than taking the max of per-scenario minima.
+    Returns the qualifying cell's point from an arbitrary plan (they share
+    fleet and policy; reports differ per scenario), or ``None`` when no
+    cell survives everywhere.
+    """
+    if not plans:
+        return None
+    survivors: Optional[Dict[Tuple[int, str], PlanPoint]] = None
+    for plan in plans.values():
+        cells = {
+            (p.fleet.num_workers, p.policy): p
+            for p in plan.points
+            if (policy is None or p.policy == policy)
+            and p.report.slo_attainment >= plan.slo_target
+        }
+        if survivors is None:
+            survivors = cells
+        else:
+            survivors = {k: v for k, v in survivors.items() if k in cells}
+    if not survivors:
+        return None
+    return min(
+        survivors.values(),
+        key=lambda p: (
+            p.fleet.num_workers,
+            p.fleet.cost_per_hour,
+            -p.report.slo_attainment,
+        ),
     )

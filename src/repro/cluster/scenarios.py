@@ -1,0 +1,419 @@
+"""Pinned closed-loop scenarios: traffic + faults + controllers as one object.
+
+A :class:`ClusterScenario` bundles everything :func:`repro.cluster.des.replay_trace`
+needs besides the fleet: the trace, the fault schedule, the recovery policy
+and the (optional) admission controller and autoscaler.  :func:`scenario_suite`
+pins the three canonical scenarios the golden tests replay —
+
+* ``diurnal`` — sinusoidal load with a flash crowd, healthy fleet (the
+  traffic shape capacity planning should size for),
+* ``flash-crowd`` — the same traffic behind a bounded queue (admission
+  control sheds the spike's overflow instead of poisoning every later
+  request's latency),
+* ``faulty`` — the same traffic on a fleet that crashes and straggles,
+  closed-loop: bounded retries, admission control and an SLO-tracking
+  autoscaler.
+
+All three derive from seeded generators, so a (scenario, fleet) pair
+replays to the bit-identical report everywhere — the same golden discipline
+as the plain traces.
+
+:func:`resilience_experiment` is the headline measurement of this layer:
+size the *smallest* fleet that meets a 99% SLO on healthy traffic (via
+:func:`~repro.cluster.planner.plan_capacity`), then show that under the
+failure scenario (a) that fixed fleet misses the SLO, and (b) the same
+fleet with admission control and an autoscaler meets it — with
+dollars-per-million-requests for both, so the cost of resilience is a
+number, not an adjective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, TYPE_CHECKING
+
+from .._digest import stable_digest
+from ..ppm.config import PPMConfig
+from ..sim.session import SimulationSession
+from .control import AdmissionController, Autoscaler
+from .des import (
+    ClusterReport,
+    RequestOutcome,
+    ServiceTimes,
+    prefetch_service_times,
+    replay_trace_outcomes,
+)
+from .faults import NO_FAULTS, FaultSchedule, RecoveryPolicy
+from .fleet import FleetSpec, MultiChipVariant
+from .planner import plan_capacity
+from .scheduler import SchedulerSpec
+from .trace import RequestTrace, SLOPolicy, diurnal_trace, mixture_lengths
+
+if TYPE_CHECKING:  # optional routing, kept import-cycle free
+    from ..serving.service import LatencyService
+
+
+@dataclass(frozen=True)
+class ClusterScenario:
+    """One replayable situation: traffic plus faults plus control loops."""
+
+    name: str
+    trace: RequestTrace
+    faults: FaultSchedule = NO_FAULTS
+    recovery: RecoveryPolicy = RecoveryPolicy()
+    admission: Optional[AdmissionController] = None
+    autoscaler: Optional[Autoscaler] = None
+
+    def replay(
+        self,
+        fleet: FleetSpec,
+        scheduler: SchedulerSpec = "edf",
+        ppm_config: Optional[PPMConfig] = None,
+        session: Optional[SimulationSession] = None,
+        service: Optional["LatencyService"] = None,
+        service_times: Optional[ServiceTimes] = None,
+        dispatch_overhead_seconds: float = 0.0,
+        same_length_reuse_discount: float = 0.0,
+    ) -> ClusterReport:
+        report, _ = self.replay_outcomes(
+            fleet,
+            scheduler=scheduler,
+            ppm_config=ppm_config,
+            session=session,
+            service=service,
+            service_times=service_times,
+            dispatch_overhead_seconds=dispatch_overhead_seconds,
+            same_length_reuse_discount=same_length_reuse_discount,
+        )
+        return report
+
+    def replay_outcomes(
+        self,
+        fleet: FleetSpec,
+        scheduler: SchedulerSpec = "edf",
+        ppm_config: Optional[PPMConfig] = None,
+        session: Optional[SimulationSession] = None,
+        service: Optional["LatencyService"] = None,
+        service_times: Optional[ServiceTimes] = None,
+        dispatch_overhead_seconds: float = 0.0,
+        same_length_reuse_discount: float = 0.0,
+    ) -> Tuple[ClusterReport, Tuple[RequestOutcome, ...]]:
+        return replay_trace_outcomes(
+            self.trace,
+            fleet,
+            scheduler=scheduler,
+            ppm_config=ppm_config,
+            session=session,
+            service=service,
+            service_times=service_times,
+            dispatch_overhead_seconds=dispatch_overhead_seconds,
+            same_length_reuse_discount=same_length_reuse_discount,
+            faults=self.faults,
+            recovery=self.recovery,
+            admission=self.admission,
+            autoscaler=self.autoscaler,
+        )
+
+    def config_digest(self) -> str:
+        """Stable content hash over everything that shapes a replay."""
+        return stable_digest(
+            "ClusterScenario",
+            {
+                "trace": self.trace.config_digest(),
+                "faults": self.faults.config_digest(),
+                "recovery": (
+                    self.recovery.max_retries,
+                    self.recovery.backoff_base_seconds,
+                    self.recovery.backoff_multiplier,
+                    self.recovery.fail_fast,
+                ),
+                "admission": (
+                    None
+                    if self.admission is None
+                    else (
+                        self.admission.max_queue_depth,
+                        self.admission.priority_depth_fraction,
+                    )
+                ),
+                "autoscaler": (
+                    None
+                    if self.autoscaler is None
+                    else (
+                        self.autoscaler.min_workers,
+                        self.autoscaler.max_workers,
+                        self.autoscaler.interval_seconds,
+                        self.autoscaler.scale_up_queue_per_worker,
+                        self.autoscaler.scale_down_queue_per_worker,
+                        self.autoscaler.slo_target,
+                        self.autoscaler.attainment_window,
+                        self.autoscaler.scale_up_lag_seconds,
+                        self.autoscaler.scale_step,
+                    )
+                ),
+            },
+        )
+
+
+# ---------------------------------------------------------------- the suite
+#: Length mix and SLO shared by the pinned scenarios (the PR 5 golden mix).
+SCENARIO_MIX = ((32, 0.6), (96, 0.25), (160, 0.15))
+SCENARIO_SLO = SLOPolicy(base_seconds=0.035, per_residue_seconds=2.0e-4)
+
+
+def scenario_trace(
+    seed: int = 11,
+    rate_rps: float = 300.0,
+    num_requests: int = 900,
+) -> RequestTrace:
+    """The shared diurnal-with-flash-crowd traffic of the pinned suite.
+
+    A compressed diurnal cycle (~1.2 s period, +-55% swing) with a 5x flash
+    crowd a third of the way in — short enough to replay in milliseconds,
+    long enough to hold several autoscaler reaction windows.
+    """
+    pool, weights = mixture_lengths(SCENARIO_MIX)
+    return diurnal_trace(
+        rate_rps=rate_rps,
+        num_requests=num_requests,
+        length_pool=pool,
+        length_weights=weights,
+        slo=SCENARIO_SLO,
+        period_seconds=1.2,
+        amplitude=0.55,
+        flash_at_seconds=1.0,
+        flash_duration_seconds=0.25,
+        flash_factor=5.0,
+        seed=seed,
+    )
+
+
+def scenario_faults(
+    num_workers: int,
+    duration_seconds: float,
+    seed: int = 11,
+) -> FaultSchedule:
+    """The pinned failure pattern scaled to a fleet and trace duration.
+
+    Roughly one crash per worker (short exponential downtimes with a warm-up
+    surcharge on restart), one straggler window per worker, and one
+    degraded-link window over the (single) group — dense enough that a
+    minimally-sized fleet visibly suffers, mild enough that a closed-loop
+    fleet can absorb it.
+    """
+    return FaultSchedule.generate(
+        num_workers=num_workers,
+        duration_seconds=duration_seconds,
+        seed=seed,
+        crashes_per_worker=1.0,
+        mean_downtime_seconds=duration_seconds * 0.12,
+        detection_lag_seconds=0.002,
+        warmup_seconds=0.004,
+        stragglers_per_worker=1.0,
+        mean_straggle_seconds=duration_seconds * 0.05,
+        straggler_slowdown=3.0,
+        degraded_link_groups=(0,),
+        degraded_link_fraction=0.15,
+        degraded_bandwidth_factor=0.5,
+        name="pinned-faults",
+    )
+
+
+def scenario_controllers(
+    baseline_workers: int,
+    slo_target: float = 0.99,
+) -> Tuple[AdmissionController, Autoscaler]:
+    """The pinned closed-loop controllers sized around a baseline fleet.
+
+    Admission is a wide safety valve (it sheds only a catastrophic backlog,
+    low priority first); the autoscaler holds the baseline as its floor and
+    buys up to 2x the baseline when rolling attainment dips below the
+    target or the queue grows — reacting every 20 simulated milliseconds
+    with a 60 ms provisioning lag.
+    """
+    admission = AdmissionController(
+        max_queue_depth=max(32, 16 * baseline_workers),
+        priority_depth_fraction=0.5,
+    )
+    autoscaler = Autoscaler(
+        min_workers=baseline_workers,
+        max_workers=max(2 * baseline_workers, baseline_workers + 2),
+        interval_seconds=0.02,
+        scale_up_queue_per_worker=3.0,
+        scale_down_queue_per_worker=0.5,
+        slo_target=slo_target,
+        attainment_window=50,
+        scale_up_lag_seconds=0.06,
+        scale_step=1,
+    )
+    return admission, autoscaler
+
+
+def scenario_suite(
+    seed: int = 11,
+    num_workers: int = 4,
+    slo_target: float = 0.99,
+) -> Tuple[ClusterScenario, ...]:
+    """The three pinned scenarios the golden tests (and CI smoke) replay."""
+    trace = scenario_trace(seed=seed)
+    faults = scenario_faults(num_workers, trace.duration_seconds, seed=seed)
+    admission, autoscaler = scenario_controllers(num_workers, slo_target)
+    return (
+        ClusterScenario(name="diurnal", trace=trace),
+        ClusterScenario(name="flash-crowd", trace=trace, admission=admission),
+        ClusterScenario(
+            name="faulty",
+            trace=trace,
+            faults=faults,
+            recovery=RecoveryPolicy(max_retries=2, backoff_base_seconds=0.005),
+            admission=admission,
+            autoscaler=autoscaler,
+        ),
+    )
+
+
+def named_scenario(name: str, **kwargs) -> ClusterScenario:
+    """Look up one pinned scenario by name (CLI/smoke entry point)."""
+    suite = scenario_suite(**kwargs)
+    for scenario in suite:
+        if scenario.name == name:
+            return scenario
+    raise ValueError(
+        f"unknown scenario {name!r}; expected one of "
+        f"{[s.name for s in suite]}"
+    )
+
+
+# ----------------------------------------------------- headline measurement
+@dataclass(frozen=True)
+class ResilienceSummary:
+    """Outcome of :func:`resilience_experiment` — the cost of resilience.
+
+    ``healthy`` is the planner-sized fleet on fault-free traffic;
+    ``faulty_fixed`` is the same fixed fleet under the failure scenario
+    (open loop, retries only); ``faulty_controlled`` adds admission control
+    and the autoscaler.  The acceptance claim of this layer:
+    ``faulty_fixed`` misses the SLO target, ``faulty_controlled`` meets it.
+    """
+
+    slo_target: float
+    planned_workers: int
+    healthy: ClusterReport
+    faulty_fixed: ClusterReport
+    faulty_controlled: ClusterReport
+
+    @property
+    def fixed_meets_slo(self) -> bool:
+        return self.faulty_fixed.slo_attainment >= self.slo_target
+
+    @property
+    def controlled_meets_slo(self) -> bool:
+        return self.faulty_controlled.slo_attainment >= self.slo_target
+
+    def summary_lines(self) -> Tuple[str, ...]:
+        def fmt(tag: str, report: ClusterReport) -> str:
+            return (
+                f"{tag}: slo={report.slo_attainment:.4f}"
+                f" cost=${report.cost_per_million_requests:.2f}/M"
+                f" mean_fleet={report.mean_fleet_size:.2f}"
+                f" shed={report.shed} failed={report.failed}"
+                f" retried={report.retried}"
+                f" availability={report.availability:.4f}"
+            )
+
+        return (
+            f"planned fleet: {self.planned_workers} workers"
+            f" @ {self.slo_target:.0%} SLO",
+            fmt("healthy        ", self.healthy),
+            fmt("faulty (fixed) ", self.faulty_fixed),
+            fmt("faulty (closed)", self.faulty_controlled),
+        )
+
+
+def resilience_experiment(
+    ppm_config: Optional[PPMConfig] = None,
+    session: Optional[SimulationSession] = None,
+    service: Optional["LatencyService"] = None,
+    backend_spec=None,
+    fleet_sizes: Sequence[int] = (2, 3, 4, 5, 6, 8),
+    slo_target: float = 0.99,
+    scheduler: SchedulerSpec = "edf",
+    same_length_reuse_discount: float = 0.25,
+    seed: int = 11,
+    workers: Optional[int] = None,
+) -> ResilienceSummary:
+    """Plan a healthy fleet, then break it — and close the loop.
+
+    1. Size the smallest fleet meeting ``slo_target`` on the healthy
+       diurnal/flash trace (one shared prefetch feeds the whole grid).
+    2. Replay the failure scenario on that *fixed* fleet: retries only.
+    3. Replay it again with the pinned admission controller and autoscaler
+       (floor = planned size, ceiling = 2x).
+
+    Returns the three reports; ``summary_lines()`` formats the comparison
+    the docs quote.
+    """
+    if backend_spec is None:
+        backend_spec = MultiChipVariant(base="h100-chunk", chips=2)
+    trace = scenario_trace(seed=seed)
+    base_fleet = FleetSpec.homogeneous(backend_spec, 1)
+    times = prefetch_service_times(
+        trace,
+        base_fleet,
+        ppm_config=ppm_config,
+        session=session,
+        service=service,
+        workers=workers,
+    )
+    plan = plan_capacity(
+        trace,
+        base_fleet=base_fleet,
+        fleet_sizes=fleet_sizes,
+        policies=(scheduler,),
+        slo_target=slo_target,
+        same_length_reuse_discount=same_length_reuse_discount,
+        # plan_capacity re-prefetches unless given a service_times shortcut;
+        # replay_trace accepts ours directly below, and the planner shares
+        # the session memo cache, so the prefetch above is the only slow one.
+        ppm_config=ppm_config,
+        session=session,
+        service=service,
+    )
+    minimal = plan.minimal_fleet()
+    if minimal is None:
+        raise ValueError(
+            f"no fleet size in {tuple(fleet_sizes)} meets the"
+            f" {slo_target:.0%} SLO on the healthy trace"
+        )
+    planned = minimal.fleet.num_workers
+    fleet = base_fleet.with_size(planned)
+    healthy = minimal.report
+    faults = scenario_faults(planned, trace.duration_seconds, seed=seed)
+    recovery = RecoveryPolicy(max_retries=2, backoff_base_seconds=0.005)
+    admission, autoscaler = scenario_controllers(planned, slo_target)
+    faulty_fixed, _ = replay_trace_outcomes(
+        trace,
+        fleet,
+        scheduler=scheduler,
+        service_times=times,
+        same_length_reuse_discount=same_length_reuse_discount,
+        faults=faults,
+        recovery=recovery,
+    )
+    faulty_controlled, _ = replay_trace_outcomes(
+        trace,
+        fleet,
+        scheduler=scheduler,
+        service_times=times,
+        same_length_reuse_discount=same_length_reuse_discount,
+        faults=faults,
+        recovery=recovery,
+        admission=admission,
+        autoscaler=autoscaler,
+    )
+    return ResilienceSummary(
+        slo_target=slo_target,
+        planned_workers=planned,
+        healthy=healthy,
+        faulty_fixed=faulty_fixed,
+        faulty_controlled=faulty_controlled,
+    )

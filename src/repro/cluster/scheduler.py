@@ -233,6 +233,47 @@ def create_scheduler(spec: SchedulerSpec = "fifo") -> Scheduler:
     raise TypeError(f"cannot build a scheduler from {type(spec).__name__!r}")
 
 
+def select_worker(
+    idle: List[int],
+    sequence_length: int,
+    last_length: List[Optional[int]],
+    prefer_shape: bool,
+    straggling: frozenset = frozenset(),
+) -> int:
+    """Pick (and remove) the worker that should serve the next request.
+
+    The routing policy shared by every scheduler: prefer a **healthy**
+    worker over one inside a straggler window (rerouting around degraded
+    hardware is a scheduler decision, not a fault-model one), and within a
+    health tier prefer a shape-matching worker (``prefer_shape``, i.e. a
+    nonzero same-length reuse discount) and then the lowest id.  With no
+    stragglers this reduces exactly to the PR 5 claim order — shape match
+    first, else lowest id — so healthy-path replays are bit-identical.
+    Only a worker that is actually in ``idle`` is ever returned; if every
+    idle worker straggles, the least-bad (lowest-id/shape-matching)
+    straggler is used rather than leaving the request queued.
+    """
+    if straggling:
+        tiers = (
+            [w for w in idle if w not in straggling],
+            [w for w in idle if w in straggling],
+        )
+    else:
+        tiers = (idle,)
+    for tier in tiers:
+        if not tier:
+            continue
+        worker = tier[0]
+        if prefer_shape:
+            for candidate in tier:
+                if last_length[candidate] == sequence_length:
+                    worker = candidate
+                    break
+        idle.remove(worker)
+        return worker
+    raise ValueError("select_worker called with no idle workers")
+
+
 def scheduler_name(spec: SchedulerSpec) -> str:
     """Display name of a scheduler spec without instantiating twice."""
     if isinstance(spec, str):

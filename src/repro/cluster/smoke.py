@@ -1,16 +1,26 @@
-"""CI smoke entry: a small trace replayed under two policies, deterministically.
+"""CI smoke entry: small cluster replays, deterministically, healthy or faulty.
 
-Run as ``PYTHONPATH=src python -m repro.cluster.smoke``.  Generates a bursty
-trace on the tiny configuration, replays it against a 3-worker fleet under
-FIFO and EDF (sharing one service-time prefetch), asserts bit-determinism
-(two replays of the same trace produce identical :class:`ClusterReport`
-objects) and the deadline-count dominance of EDF, then exits 0 — the cluster
-sibling of :mod:`repro.sim.smoke` and :mod:`repro.serving.smoke`.  Every
-cache write is sandboxed in a throwaway directory.
+Run as ``PYTHONPATH=src python -m repro.cluster.smoke [--scenario NAME]``.
+
+* ``--scenario healthy`` (default) — the PR 5 smoke: a bursty trace on the
+  tiny configuration replayed against a 3-worker fleet under FIFO and EDF
+  (sharing one service-time prefetch), asserting bit-determinism and the
+  deadline-count dominance of EDF.
+* ``--scenario faulty`` (or ``diurnal`` / ``flash-crowd``) — one pinned
+  scenario from :func:`repro.cluster.scenarios.scenario_suite` replayed
+  twice against a 4-worker multi-chip fleet, asserting bit-determinism of
+  the *closed-loop* path (faults, retries, admission control, autoscaler)
+  and the drop-accounting identity ``dropped == oom + shed + failed``.
+
+Both modes print the drop split (``oom``/``shed``/``failed``) so a CI log
+shows where requests went, and every cache write is sandboxed in a
+throwaway directory — the cluster sibling of :mod:`repro.sim.smoke` and
+:mod:`repro.serving.smoke`.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import tempfile
 
@@ -18,11 +28,19 @@ from ..ppm.config import PPMConfig
 from ..sim.cache import sandbox_cache_dir
 from ..sim.session import SimulationSession
 from .des import prefetch_service_times, replay_trace
-from .fleet import FleetSpec
+from .fleet import FleetSpec, MultiChipVariant
+from .scenarios import named_scenario
 from .trace import SLOPolicy, bursty_trace, mixture_lengths
 
 
-def main() -> int:
+def _drop_split(report) -> str:
+    return (
+        f"drops[oom={report.oom_dropped} shed={report.shed}"
+        f" failed={report.failed} total={report.dropped}]"
+    )
+
+
+def _healthy(cache_dir: str) -> int:
     config = PPMConfig.tiny()
     pool, weights = mixture_lengths([(24, 0.6), (48, 0.3), (96, 0.1)])
     trace = bursty_trace(
@@ -34,36 +52,25 @@ def main() -> int:
         seed=11,
     )
     fleet = FleetSpec.homogeneous("h100-chunk", 3)
-
-    with tempfile.TemporaryDirectory(prefix="repro-cluster-smoke-") as cache_dir:
-        # Sandbox every cache write in the throwaway directory, as the test
-        # suite's conftest does — nothing lands in the runner workspace/home.
-        with sandbox_cache_dir(cache_dir):
-            session = SimulationSession(ppm_config=config, cache_dir=cache_dir)
-            times = prefetch_service_times(trace, fleet, session=session)
-            reports = {}
-            for policy in ("fifo", "edf"):
-                first = replay_trace(
-                    trace, fleet, scheduler=policy, service_times=times
-                )
-                again = replay_trace(
-                    trace, fleet, scheduler=policy, service_times=times
-                )
-                if first != again:
-                    print(
-                        f"FAIL: {policy} replay is not deterministic", file=sys.stderr
-                    )
-                    return 1
-                reports[policy] = first
-                print(
-                    f"replay[{policy}] completed={first.completed}"
-                    f" p50={first.p50_latency_seconds * 1e3:.2f} ms"
-                    f" p99={first.p99_latency_seconds * 1e3:.2f} ms"
-                    f" slo={first.slo_attainment:.3f}"
-                    f" util={ {k: round(v, 3) for k, v in first.utilization.items()} }"
-                    f" events={first.events_processed}"
-                )
-
+    session = SimulationSession(ppm_config=config, cache_dir=cache_dir)
+    times = prefetch_service_times(trace, fleet, session=session)
+    reports = {}
+    for policy in ("fifo", "edf"):
+        first = replay_trace(trace, fleet, scheduler=policy, service_times=times)
+        again = replay_trace(trace, fleet, scheduler=policy, service_times=times)
+        if first != again:
+            print(f"FAIL: {policy} replay is not deterministic", file=sys.stderr)
+            return 1
+        reports[policy] = first
+        print(
+            f"replay[{policy}] completed={first.completed}"
+            f" p50={first.p50_latency_seconds * 1e3:.2f} ms"
+            f" p99={first.p99_latency_seconds * 1e3:.2f} ms"
+            f" slo={first.slo_attainment:.3f}"
+            f" util={ {k: round(v, 3) for k, v in first.utilization.items()} }"
+            f" events={first.events_processed}"
+            f" {_drop_split(first)}"
+        )
     if reports["fifo"].completed != len(trace) or reports["edf"].completed != len(trace):
         print("FAIL: replay lost requests", file=sys.stderr)
         return 1
@@ -72,6 +79,61 @@ def main() -> int:
         return 1
     print("smoke ok: deterministic 3-worker replay, FIFO vs EDF, sandboxed cache")
     return 0
+
+
+def _scenario(name: str, cache_dir: str) -> int:
+    config = PPMConfig.tiny()
+    scenario = named_scenario(name, num_workers=4)
+    fleet = FleetSpec.homogeneous(MultiChipVariant(base="h100-chunk", chips=2), 4)
+    session = SimulationSession(ppm_config=config, cache_dir=cache_dir)
+    times = prefetch_service_times(scenario.trace, fleet, session=session)
+    first = scenario.replay(
+        fleet, service_times=times, same_length_reuse_discount=0.25,
+        ppm_config=config,
+    )
+    again = scenario.replay(
+        fleet, service_times=times, same_length_reuse_discount=0.25,
+        ppm_config=config,
+    )
+    if first != again:
+        print(f"FAIL: scenario {name!r} replay is not deterministic", file=sys.stderr)
+        return 1
+    print(
+        f"scenario[{name}] completed={first.completed}/{first.requests}"
+        f" slo={first.slo_attainment:.4f}"
+        f" retried={first.retried}"
+        f" availability={first.availability:.4f}"
+        f" mean_fleet={first.mean_fleet_size:.2f}"
+        f" peak_fleet={first.peak_fleet_size}"
+        f" events={first.events_processed}"
+        f" {_drop_split(first)}"
+    )
+    if first.dropped != first.oom_dropped + first.shed + first.failed:
+        print("FAIL: drop split does not sum to total drops", file=sys.stderr)
+        return 1
+    if first.completed + first.dropped != first.requests:
+        print("FAIL: requests not conserved", file=sys.stderr)
+        return 1
+    print(f"smoke ok: deterministic closed-loop replay of scenario {name!r}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scenario",
+        default="healthy",
+        choices=("healthy", "diurnal", "flash-crowd", "faulty"),
+        help="healthy = PR 5 FIFO/EDF smoke; others = pinned closed-loop scenarios",
+    )
+    args = parser.parse_args(argv)
+    with tempfile.TemporaryDirectory(prefix="repro-cluster-smoke-") as cache_dir:
+        # Sandbox every cache write in the throwaway directory, as the test
+        # suite's conftest does — nothing lands in the runner workspace/home.
+        with sandbox_cache_dir(cache_dir):
+            if args.scenario == "healthy":
+                return _healthy(cache_dir)
+            return _scenario(args.scenario, cache_dir)
 
 
 if __name__ == "__main__":

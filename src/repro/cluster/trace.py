@@ -236,6 +236,69 @@ def poisson_trace(
     )
 
 
+def diurnal_trace(
+    rate_rps: float,
+    num_requests: int,
+    length_pool: Sequence[int],
+    length_weights: Optional[Sequence[float]] = None,
+    slo: SLOPolicy = SLOPolicy(),
+    period_seconds: float = 60.0,
+    amplitude: float = 0.6,
+    flash_at_seconds: Optional[float] = None,
+    flash_duration_seconds: float = 2.0,
+    flash_factor: float = 6.0,
+    seed: int = 0,
+    name: str = "diurnal",
+) -> RequestTrace:
+    """Sinusoidally modulated arrivals with an optional flash crowd.
+
+    The instantaneous rate is ``rate_rps * (1 + amplitude * sin(2*pi*t /
+    period_seconds))`` — a compressed diurnal cycle (peak traffic
+    ``(1+amplitude)x`` the mean, trough ``(1-amplitude)x``) — multiplied by
+    ``flash_factor`` inside the optional flash-crowd window starting at
+    ``flash_at_seconds``.  Arrivals are generated iteratively: each gap is
+    exponential at the rate evaluated at the previous arrival (the standard
+    piecewise approximation of an inhomogeneous Poisson process), all from
+    one seeded generator, so the trace is bit-deterministic like its
+    siblings.  This is the traffic shape the closed-loop scenario suite
+    pins: the trough is where an autoscaler earns its keep, the flash crowd
+    is where admission control does.
+    """
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be positive")
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    if not 0.0 <= amplitude < 1.0:
+        raise ValueError("amplitude must be in [0, 1)")
+    if period_seconds <= 0:
+        raise ValueError("period_seconds must be positive")
+    if flash_factor < 1.0:
+        raise ValueError("flash_factor must be >= 1")
+    if flash_duration_seconds <= 0:
+        raise ValueError("flash_duration_seconds must be positive")
+    rng = np.random.default_rng(seed)
+    arrivals = np.empty(num_requests, dtype=float)
+    t = 0.0
+    two_pi = 2.0 * np.pi
+    for i in range(num_requests):
+        rate = rate_rps * (1.0 + amplitude * np.sin(two_pi * t / period_seconds))
+        if (
+            flash_at_seconds is not None
+            and flash_at_seconds <= t < flash_at_seconds + flash_duration_seconds
+        ):
+            rate *= flash_factor
+        t += float(rng.exponential(scale=1.0 / rate))
+        arrivals[i] = t
+    lengths = _sample_lengths(rng, num_requests, length_pool, length_weights)
+    priorities = _sample_priorities(rng, num_requests, slo.priority_weights)
+    return RequestTrace(
+        name=name,
+        requests=_annotate(arrivals, lengths, priorities, slo),
+        seed=seed,
+        offered_rps=float(rate_rps),
+    )
+
+
 def bursty_trace(
     rate_rps: float,
     num_requests: int,

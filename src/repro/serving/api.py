@@ -131,6 +131,12 @@ class CapacityReport:
     ``queries_per_second`` is sustained throughput over *busy* time (the
     dispatcher's execution windows), so idle services do not dilute it;
     ``wall_seconds`` is time since the service started, for offered-load math.
+
+    Resilience counters: ``timed_out`` counts :meth:`~repro.serving.service.LatencyService.result`
+    calls that gave up waiting (the ticket itself stays claimable — a later
+    ``result``/``poll`` may still consume it); ``pool_rebuilds`` counts times
+    the dispatcher replaced a broken worker pool with a fresh one before
+    falling back to serial execution.
     """
 
     requests: int
@@ -145,6 +151,8 @@ class CapacityReport:
     busy_seconds: float
     queries_per_second: float
     backends: Tuple[BackendServiceStats, ...] = field(default_factory=tuple)
+    timed_out: int = 0
+    pool_rebuilds: int = 0
 
     @property
     def hit_rate(self) -> float:

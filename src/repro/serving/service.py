@@ -377,10 +377,17 @@ class LatencyService:
     def result(
         self, ticket_id: int, timeout: Optional[float] = None
     ) -> LatencyResponse:
-        """Block until ``ticket_id`` is fulfilled and return (and consume) it."""
+        """Block until ``ticket_id`` is fulfilled and return (and consume) it.
+
+        On timeout the ticket is *not* consumed — a later ``result`` or
+        :meth:`poll` may still claim it once fulfilled — but the give-up is
+        counted (``timed_out`` in :meth:`capacity_report`), so an operator
+        can see clients abandoning slow requests.
+        """
         with self._cond:
             ticket = self._tickets[ticket_id]
         if not ticket.done.wait(timeout):
+            self.stats.record_timeout()
             raise TimeoutError(f"request {ticket_id} not fulfilled within {timeout}s")
         with self._cond:
             self._tickets.pop(ticket_id, None)
@@ -457,6 +464,8 @@ class LatencyService:
             busy_seconds=busy,
             queries_per_second=completed / busy if busy > 0 else 0.0,
             backends=tuple(self.stats.backend_summaries()),
+            timed_out=int(snap["timeouts"]),
+            pool_rebuilds=int(snap["pool_rebuilds"]),
         )
 
     # -------------------------------------------------------------- dispatcher
@@ -498,6 +507,15 @@ class LatencyService:
             results: Dict[Tuple, Tuple[Optional[SimReport], Optional[str], bool]] = {}
             try:
                 results = self._execute(jobs)
+            except Exception as exc:
+                # A dispatcher-level failure (pool machinery, session
+                # corruption) must not kill this thread: a dead dispatcher
+                # would hang every future poll()/result() forever.  Convert
+                # the crash into per-ticket error responses and keep serving.
+                for job in jobs:
+                    results.setdefault(
+                        job.key, (None, f"dispatcher error: {exc}", False)
+                    )
             finally:
                 # Fulfill even if _execute blew up: every drained ticket gets a
                 # response (an error one, in the worst case), never a hang.
@@ -576,30 +594,45 @@ class LatencyService:
 
         The pool is created once and reused across batches (no per-batch
         executor standup); jobs are grouped by recycles flag (a sweep-level
-        setting).  A broken/unavailable pool is discarded and the batch
-        degrades to the per-job serial path, so the service keeps the sweep
-        module's never-have-to-care fallback contract.
+        setting).  A broken pool (workers OOM-killed, crashed mid-batch) is
+        discarded and **rebuilt once** — a single dead worker must not cost
+        the whole pooled path — and only if the fresh pool fails too does the
+        batch degrade to the per-job serial path, so the service keeps the
+        sweep module's never-have-to-care fallback contract.
         """
         by_include: Dict[bool, List[_Job]] = {}
         for job in jobs:
             by_include.setdefault(job.include_recycles, []).append(job)
         for include, group in by_include.items():
             points = [SweepPoint(job.spec, job.sequence_length) for job in group]
-            executor = self._ensure_pool()
-            try:
-                reports = sweep(
-                    points,
-                    ppm_config=self.session.ppm_config,
-                    workers=self.workers,
-                    include_recycles=include,
-                    executor=executor,
-                )
-            except Exception:
-                if executor is not None:
-                    # The pool itself may be broken (dead workers, pickling of
-                    # a poisoned spec): discard it so the next batch starts
-                    # clean rather than failing forever.
-                    self._shutdown_pool(wait=False)
+            reports = None
+            for attempt in (0, 1):
+                executor = self._ensure_pool()
+                try:
+                    reports = sweep(
+                        points,
+                        ppm_config=self.session.ppm_config,
+                        workers=self.workers,
+                        include_recycles=include,
+                        executor=executor,
+                    )
+                    break
+                except Exception:
+                    if executor is not None:
+                        # The pool itself may be broken (dead workers,
+                        # pickling of a poisoned spec): discard it so the
+                        # retry (and the next batch) starts clean rather
+                        # than failing forever.
+                        self._shutdown_pool(wait=False)
+                    if attempt == 0 and executor is not None:
+                        # One rebuild: _ensure_pool() stands up a fresh pool
+                        # on the retry.  A pool that could not even be
+                        # created (executor None) will not appear by trying
+                        # again — go straight to the serial fallback.
+                        self.stats.record_pool_rebuild()
+                        continue
+                    break
+            if reports is None:
                 for job in group:
                     results[job.key] = self._simulate_serial(job)
                 continue

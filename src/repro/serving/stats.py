@@ -70,6 +70,8 @@ class ServiceStats:
         self.busy_seconds = 0.0
         self.queue_depth = 0
         self.peak_queue_depth = 0
+        self.timeouts = 0
+        self.pool_rebuilds = 0
         self._backends: Dict[str, LatencyReservoir] = {}
 
     # ------------------------------------------------------------- submission
@@ -110,6 +112,16 @@ class ServiceStats:
         with self._lock:
             self.simulations += int(count)
 
+    def record_timeout(self) -> None:
+        """A ``result()`` call gave up waiting (the ticket stays claimable)."""
+        with self._lock:
+            self.timeouts += 1
+
+    def record_pool_rebuild(self) -> None:
+        """The dispatcher replaced a broken worker pool with a fresh one."""
+        with self._lock:
+            self.pool_rebuilds += 1
+
     # ------------------------------------------------------------------ reads
     @property
     def hit_rate(self) -> float:
@@ -138,6 +150,8 @@ class ServiceStats:
                 "busy_seconds": self.busy_seconds,
                 "queue_depth": self.queue_depth,
                 "peak_queue_depth": self.peak_queue_depth,
+                "timeouts": self.timeouts,
+                "pool_rebuilds": self.pool_rebuilds,
                 "backends": {
                     name: reservoir.summary(name)
                     for name, reservoir in self._backends.items()

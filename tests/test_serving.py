@@ -536,3 +536,87 @@ class TestPoolableVariantSpecs:
             report = service.query(live_node, LENGTHS[0], timeout=TIMEOUT)
             assert report.details["chips"] == 2.0
             assert service._pool is pool
+
+
+class TestServiceResilience:
+    """Worker-pool death, result timeouts, and dispatcher crashes stay contained."""
+
+    def grid(self):
+        return [("lightnobel", n) for n in LENGTHS] + [("h100", n) for n in LENGTHS]
+
+    def test_broken_pool_is_rebuilt_once_and_the_batch_still_succeeds(
+        self, config, monkeypatch
+    ):
+        import repro.serving.service as service_module
+
+        real_sweep = service_module.sweep
+        calls = {"n": 0}
+
+        def dying_sweep(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise BrokenPipeError("worker pool died mid-batch")
+            return real_sweep(*args, **kwargs)
+
+        monkeypatch.setattr(service_module, "sweep", dying_sweep)
+        with make_service(config, workers=2) as service:
+            reports = service.query_batch(self.grid(), timeout=TIMEOUT)
+            assert service.stats.pool_rebuilds == 1
+            assert service.capacity_report().pool_rebuilds == 1
+        session = SimulationSession(ppm_config=config, use_disk_cache=False)
+        for (spec, n), report in zip(self.grid(), reports):
+            assert report.total_seconds == session.simulate(n, backend=spec).total_seconds
+
+    def test_persistently_broken_pool_degrades_to_serial(self, config, monkeypatch):
+        import repro.serving.service as service_module
+
+        def always_broken(*args, **kwargs):
+            raise BrokenPipeError("every pool is cursed")
+
+        monkeypatch.setattr(service_module, "sweep", always_broken)
+        with make_service(config, workers=2) as service:
+            reports = service.query_batch(self.grid(), timeout=TIMEOUT)
+            # One rebuild attempt, then the serial fallback — never an error
+            # response, never a hang.
+            assert service.stats.pool_rebuilds == 1
+            assert service.stats.errors == 0
+        session = SimulationSession(ppm_config=config, use_disk_cache=False)
+        for (spec, n), report in zip(self.grid(), reports):
+            assert report.total_seconds == session.simulate(n, backend=spec).total_seconds
+
+    def test_result_timeout_is_counted_and_leaves_the_ticket_claimable(self, config):
+        service = make_service(config, autostart=False)
+        ticket = service.submit(LatencyRequest("lightnobel", LENGTHS[0]))
+        with pytest.raises(TimeoutError):
+            service.result(ticket, timeout=0.01)  # dispatcher never started
+        assert service.stats.timeouts == 1
+        assert service.capacity_report().timed_out == 1
+        service.start()
+        response = service.result(ticket, timeout=TIMEOUT)  # still claimable
+        assert response.ok
+        service.close()
+
+    def test_dispatcher_survives_an_execute_crash(self, config, monkeypatch):
+        service = make_service(config, autostart=False)
+        real_execute = service._execute
+        calls = {"n": 0}
+
+        def crashing_execute(jobs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("session corrupted")
+            return real_execute(jobs)
+
+        monkeypatch.setattr(service, "_execute", crashing_execute)
+        ticket = service.submit(LatencyRequest("lightnobel", LENGTHS[0]))
+        service.start()
+        response = service.result(ticket, timeout=TIMEOUT)
+        # The crashed batch surfaces as per-request errors, not a hang...
+        assert not response.ok
+        assert "dispatcher error" in response.error
+        assert "session corrupted" in response.error
+        # ...and the dispatcher thread is still alive to serve what follows.
+        report = service.query("lightnobel", LENGTHS[1], timeout=TIMEOUT)
+        assert report.total_seconds > 0
+        assert service.stats.errors == 1
+        service.close()
