@@ -12,7 +12,7 @@ planning 100x slower.
 
 import time
 
-from conftest import print_table
+from conftest import emit_bench_json, print_table
 
 from repro.cluster import (
     AdmissionController,
@@ -92,6 +92,21 @@ def test_cluster_replay_throughput(benchmark):
         rows,
     )
 
+    emit_bench_json(
+        "cluster_replay",
+        {
+            "num_requests": NUM_REQUESTS,
+            "fleet_size": FLEET_SIZE,
+            "events_per_second": {
+                policy: eps for policy, (report, eps) in results.items()
+            },
+            "events_processed": {
+                policy: report.events_processed
+                for policy, (report, eps) in results.items()
+            },
+        },
+    )
+
     for policy, (report, eps) in results.items():
         assert report.completed == NUM_REQUESTS
         assert eps >= MIN_EVENTS_PER_SECOND, (
@@ -168,6 +183,16 @@ def test_faulty_replay_stays_within_2x_of_healthy(benchmark):
 
     healthy_eps = results["healthy"][1]
     faulty_eps = results["faulty"][1]
+    emit_bench_json(
+        "cluster_faulty_replay",
+        {
+            "num_requests": NUM_REQUESTS,
+            "fleet_size": FLEET_SIZE,
+            "healthy_events_per_second": healthy_eps,
+            "faulty_events_per_second": faulty_eps,
+            "fault_slowdown": healthy_eps / faulty_eps if faulty_eps else None,
+        },
+    )
     assert faulty_eps >= MIN_EVENTS_PER_SECOND
     assert faulty_eps * MAX_FAULT_SLOWDOWN >= healthy_eps, (
         f"fault-aware event loop too slow: {faulty_eps:.0f} events/s vs "

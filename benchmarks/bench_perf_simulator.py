@@ -17,7 +17,7 @@ regime (where the session's report memo skips even the vectorized engine).
 import tempfile
 import time
 
-from conftest import print_table
+from conftest import emit_bench_json, print_table
 
 from repro.core.aaq import AAQConfig
 from repro.hardware import LightNobelAccelerator, LightNobelConfig
@@ -136,6 +136,19 @@ def test_perf_columnar_vs_legacy(paper_config):
     for fast, slow in zip(columnar_values, legacy_values):
         assert abs(fast - slow) / slow < 1e-9
 
+    emit_bench_json(
+        "perf_simulator",
+        {
+            "legacy_single_seconds": legacy_single,
+            "columnar_single_seconds": columnar_single,
+            "single_speedup": single_speedup,
+            "legacy_sweep_seconds": legacy_sweep,
+            "columnar_sweep_seconds": columnar_sweep,
+            "sweep_speedup": sweep_speedup,
+            "hardware_sweep_seconds": hardware_sweep,
+        },
+    )
+
     # The columnar path must never be slower, and the repeated-sweep
     # workload (the regime every DSE/figure benchmark runs in) must clear
     # the 5x acceptance bar with margin.
@@ -210,6 +223,18 @@ def test_perf_session_batch_and_disk_cache(paper_config):
         actual = run_session_batch_cold(paper_config, cache_dir)
         for fast, slow in zip(actual, expected):
             assert abs(fast - slow) / slow < 1e-9
+
+        emit_bench_json(
+            "session_batch",
+            {
+                "percall_cold_seconds": percall_cold,
+                "session_cold_seconds": session_cold,
+                "cold_speedup": cold_speedup,
+                "percall_warm_seconds": percall_warm,
+                "session_warm_seconds": session_warm,
+                "warm_speedup": warm_speedup,
+            },
+        )
 
         # The batch + warm-disk-cache path must beat the per-call path
         # measurably in the cold-process regime (the sharded-sweep regime).

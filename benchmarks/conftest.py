@@ -10,10 +10,18 @@ EXPERIMENTS.md records paper-vs-measured values.
 
 from __future__ import annotations
 
+import json
+import os
+
 import pytest
 
 from repro.ppm import PPMConfig
 from repro.proteins import build_all_catalogs
+
+try:
+    import resource
+except ImportError:  # non-POSIX platform: emit without RSS
+    resource = None
 
 
 def print_table(title: str, rows):
@@ -21,6 +29,30 @@ def print_table(title: str, rows):
     print(f"\n=== {title} ===")
     for row in rows:
         print("  " + " | ".join(str(item) for item in row))
+
+
+def emit_bench_json(name: str, data: dict) -> str:
+    """Write ``BENCH_<name>.json`` — machine-readable benchmark results.
+
+    ``data`` holds the benchmark's own metrics (throughputs, speedups,
+    wall-clock seconds); ``peak_rss_mb`` (max resident set of this process so
+    far, via ``getrusage``) and the benchmark name are added alongside.  The
+    output directory defaults to the working directory and can be redirected
+    with ``$REPRO_BENCH_DIR`` (CI archives these files as artifacts).
+    """
+    payload = dict(data)
+    payload["benchmark"] = name
+    if resource is not None:
+        # ru_maxrss is kilobytes on Linux, bytes on macOS.
+        rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        payload["peak_rss_mb"] = rss / 1024.0 if os.uname().sysname != "Darwin" else rss / 1024.0**2
+    out_dir = os.environ.get("REPRO_BENCH_DIR", ".")
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    print(f"\nbench json: {path}")
+    return path
 
 
 @pytest.fixture(scope="session")

@@ -175,16 +175,28 @@ def prefetch_service_times(
     session: Optional[SimulationSession] = None,
     service: Optional["LatencyService"] = None,
     workers: Optional[int] = None,
+    length_bucket_size: Optional[int] = None,
 ) -> ServiceTimes:
     """Simulate every distinct (worker-group backend, length) pair once.
 
     With ``service=`` the pairs route through a shared
     :class:`~repro.serving.service.LatencyService` (its coalescing and worker
-    pool apply); otherwise a session serves them, optionally warmed by a
-    ``workers``-wide :func:`repro.sim.sweep.sweep` whose reports are seeded
-    back into the session memo/disk cache first.
+    pool apply); otherwise a session serves them via
+    :meth:`~repro.sim.session.SimulationSession.simulate_batch` — one stacked
+    vectorized pass per backend over the whole length mix (bit-identical to
+    the per-length loop) — optionally warmed by a ``workers``-wide
+    :func:`repro.sim.sweep.sweep` whose reports are seeded back into the
+    session memo/disk cache first.
+
+    ``length_bucket_size`` trades exactness for fewer simulated points: each
+    distinct trace length maps to its shape bucket's *longest* member
+    (:meth:`RequestTrace.bucketed_lengths`) and only representatives are
+    simulated, so every (group, length) entry carries its representative's
+    (conservative, never under-priced) service time.  ``None`` (default)
+    keeps the exact per-length behavior.
     """
-    lengths = trace.distinct_lengths()
+    representative = trace.bucketed_lengths(length_bucket_size)
+    lengths = sorted(set(representative.values()))
     specs = [group.backend for group in fleet.groups]
     times: ServiceTimes = {}
     if service is not None:
@@ -193,10 +205,14 @@ def prefetch_service_times(
         reports = service.query_batch(
             [(spec, n) for spec in specs for n in lengths]
         )
+        by_rep = {}
         for gi in range(len(specs)):
             for li, n in enumerate(lengths):
                 report = reports[gi * len(lengths) + li]
-                times[(gi, n)] = None if report.out_of_memory else report.total_seconds
+                by_rep[(gi, n)] = None if report.out_of_memory else report.total_seconds
+        for gi in range(len(specs)):
+            for n, rep in representative.items():
+                times[(gi, n)] = by_rep[(gi, rep)]
         return times
     session = session_for(ppm_config, session, backends=())
     if workers is not None and workers > 1:
@@ -217,10 +233,23 @@ def prefetch_service_times(
                 report,
                 include_recycles=session.include_recycles,
             )
-    for gi, spec in enumerate(specs):
-        for n in lengths:
-            report = session.simulate(n, backend=spec)
-            times[(gi, n)] = None if report.out_of_memory else report.total_seconds
+        # The pool already paid for full reports; consume them from the memo
+        # rather than re-pricing in-process.
+        batch = session.simulate_batch(lengths, backends=specs)
+        for gi in range(len(specs)):
+            name = batch.backends[gi]
+            for n, rep in representative.items():
+                report = batch.report(name, rep)
+                times[(gi, n)] = None if report.out_of_memory else report.total_seconds
+        return times
+    # In-process: the planner only reads the scalar total per (group, length),
+    # so take the totals-only stacked fast path — one engine pass per backend,
+    # no per-length report assembly.
+    totals = session.batch_total_seconds(lengths, backends=specs)
+    index = {n: j for j, n in enumerate(lengths)}
+    for gi in range(len(specs)):
+        for n, rep in representative.items():
+            times[(gi, n)] = totals[gi][index[rep]]
     return times
 
 

@@ -113,6 +113,7 @@ def plan_capacity(
     workers: Optional[int] = None,
     dispatch_overhead_seconds: float = 0.0,
     same_length_reuse_discount: float = 0.0,
+    length_bucket_size: Optional[int] = None,
 ) -> CapacityPlan:
     """Sweep ``fleet_sizes`` x ``policies`` over ``trace``; rank against the SLO.
 
@@ -120,6 +121,12 @@ def plan_capacity(
     to each size; default: one ``"lightnobel"`` group).  ``workers > 1``
     shards the one shared service-time prefetch across the sweep process
     pool; the replays themselves are cheap and run serially.
+
+    ``length_bucket_size`` forwards to
+    :func:`~repro.cluster.des.prefetch_service_times`: the prefetch simulates
+    only one (conservative, bucket-max) representative per shape bucket,
+    shrinking the planner grid's simulation cost from O(distinct lengths) to
+    O(buckets).  Default ``None`` keeps exact per-length pricing.
     """
     if not 0.0 < slo_target <= 1.0:
         raise ValueError("slo_target must be in (0, 1]")
@@ -137,6 +144,7 @@ def plan_capacity(
         session=session,
         service=service,
         workers=workers,
+        length_bucket_size=length_bucket_size,
     )
     points: List[PlanPoint] = []
     for size in sorted(dict.fromkeys(int(s) for s in fleet_sizes)):
@@ -175,6 +183,7 @@ def plan_capacity_under_scenarios(
     workers: Optional[int] = None,
     dispatch_overhead_seconds: float = 0.0,
     same_length_reuse_discount: float = 0.0,
+    length_bucket_size: Optional[int] = None,
 ) -> Dict[str, CapacityPlan]:
     """One :class:`CapacityPlan` per scenario, sharing prefetches across them.
 
@@ -205,6 +214,7 @@ def plan_capacity_under_scenarios(
                 session=session,
                 service=service,
                 workers=workers,
+                length_bucket_size=length_bucket_size,
             )
         times = times_by_trace[digest]
         points: List[PlanPoint] = []

@@ -102,6 +102,32 @@ class RequestTrace:
     def distinct_lengths(self) -> List[int]:
         return sorted(set(self.lengths()))
 
+    def length_mix(self) -> Dict[int, int]:
+        """Distinct length -> request count (the trace's traffic mix)."""
+        mix: Dict[int, int] = {}
+        for r in self.requests:
+            mix[r.sequence_length] = mix.get(r.sequence_length, 0) + 1
+        return dict(sorted(mix.items()))
+
+    def bucketed_lengths(self, bucket_size: Optional[int]) -> Dict[int, int]:
+        """Distinct length -> its shape-bucket representative length.
+
+        The representative is the *longest* length in the bucket
+        (:func:`repro.serving.api.length_bucket` boundaries), so bucketed
+        service-time estimates are conservative — a bucket never under-prices
+        its members.  ``bucket_size=None``/0 is the identity map (exact
+        per-length simulation).
+        """
+        from ..serving.api import length_bucket
+
+        distinct = self.distinct_lengths()
+        if not bucket_size or int(bucket_size) <= 0:
+            return {n: n for n in distinct}
+        by_bucket: Dict[int, int] = {}
+        for n in distinct:  # ascending, so the last write is the bucket max
+            by_bucket[length_bucket(n, bucket_size)] = n
+        return {n: by_bucket[length_bucket(n, bucket_size)] for n in distinct}
+
     @property
     def duration_seconds(self) -> float:
         """Span from time zero to the last arrival."""

@@ -45,6 +45,12 @@ class AAQConfig:
         if missing:
             raise ValueError(f"AAQConfig is missing groups: {missing}")
 
+    def __hash__(self) -> int:
+        # The generated frozen-dataclass hash trips over the mapping field;
+        # hash the key-sorted items instead, consistent with field equality
+        # (equal mappings sort to equal item tuples).
+        return hash((tuple(sorted(self.group_configs.items())), self.weight_bits))
+
     @classmethod
     def paper_optimal(cls) -> "AAQConfig":
         """The configuration selected by the paper's DSE (Fig. 11)."""

@@ -19,12 +19,12 @@ latency.  This model captures both regimes per operator of the shared
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..ppm.config import PPMConfig
-from ..ppm.op_table import OperatorTable, get_op_table
+from ..ppm.op_table import OperatorTable, StackedOperatorTable, get_op_table
 from ..ppm.workload import (
     ENGINE_MATMUL,
     PHASE_INPUT_EMBEDDING,
@@ -87,6 +87,7 @@ class GPUModel:
     ) -> None:
         self.gpu = get_gpu(gpu) if isinstance(gpu, str) else gpu
         self.ppm_config = ppm_config or PPMConfig.paper()
+        self._fits_cache: Dict[Tuple[int, bool], bool] = {}
 
     # ------------------------------------------------------------------ timing
     def operator_seconds(self, op: Operator, chunked: bool) -> tuple:
@@ -142,8 +143,14 @@ class GPUModel:
             out_of_memory=oom,
         )
 
-    def simulate_table(self, table: OperatorTable, chunked: bool = False) -> GPULatencyReport:
-        """Vectorized roofline model over the columns of an :class:`OperatorTable`."""
+    def _operator_columns(self, table, chunked: bool) -> Tuple[np.ndarray, np.ndarray]:
+        """(seconds, kernels) per-operator arrays over table columns.
+
+        ``table`` is anything exposing the columnar protocol — an
+        :class:`OperatorTable` or a :class:`~repro.ppm.op_table.StackedOperatorTable`.
+        Purely elementwise, so stacked evaluation matches the per-length call
+        bit for bit.
+        """
         eff = self.gpu.effective_flops
         is_matmul = table.engine_mask(ENGINE_MATMUL)
         chunk_applies = table.phase_mask(PHASE_PAIR) & chunked
@@ -163,21 +170,97 @@ class GPUModel:
         seconds = np.maximum(compute_time, memory_time) + kernels * (
             self.gpu.kernel_launch_us * 1e-6
         )
+        return seconds, kernels
 
-        phase_seconds = table.weighted_sums("phase", seconds)
-        subphase_seconds = {
-            sub: s for sub, s in table.weighted_sums("subphase", seconds).items() if sub
-        }
+    def _assemble_report(
+        self,
+        table: OperatorTable,
+        seconds: np.ndarray,
+        kernels: np.ndarray,
+        chunked: bool,
+    ) -> GPULatencyReport:
+        return self._finish_report(
+            table,
+            float(seconds.sum()),
+            float(kernels.sum()),
+            chunked,
+            table.weighted_sums("phase", seconds),
+            table.weighted_sums("subphase", seconds),
+        )
+
+    def _finish_report(
+        self,
+        table: OperatorTable,
+        total_seconds: float,
+        kernel_count: float,
+        chunked: bool,
+        phase_seconds: Dict[str, float],
+        subphase_seconds: Dict[str, float],
+    ) -> GPULatencyReport:
         return GPULatencyReport(
             gpu=self.gpu.name,
             sequence_length=table.sequence_length,
             chunked=chunked,
-            total_seconds=float(np.sum(seconds)),
+            total_seconds=total_seconds,
             phase_seconds=phase_seconds,
-            subphase_seconds=subphase_seconds,
-            kernel_count=float(np.sum(kernels)),
+            subphase_seconds={sub: s for sub, s in subphase_seconds.items() if sub},
+            kernel_count=kernel_count,
             out_of_memory=not self.fits_in_memory(table.sequence_length, chunked=chunked),
         )
+
+    def simulate_table(self, table: OperatorTable, chunked: bool = False) -> GPULatencyReport:
+        """Vectorized roofline model over the columns of an :class:`OperatorTable`."""
+        seconds, kernels = self._operator_columns(table, chunked)
+        return self._assemble_report(table, seconds, kernels, chunked)
+
+    def simulate_stack(
+        self, stack: StackedOperatorTable, chunked: bool = False
+    ) -> List[GPULatencyReport]:
+        """One roofline pass over a whole length mix; one report per segment.
+
+        Elementwise arithmetic runs once over the stack, phase/subphase
+        reductions once over combined (segment, label) bins, totals over
+        contiguous slices — all bit-identical to :meth:`simulate_table`.
+        """
+        seconds, kernels = self._operator_columns(stack, chunked)
+        phase_dicts = stack.segment_weighted_sums_all("phase", seconds)
+        subphase_dicts = stack.segment_weighted_sums_all("subphase", seconds)
+        # One 2-row axis-sum per segment totals seconds and kernels together;
+        # pairwise summation runs over each contiguous row exactly as it does
+        # over the standalone per-length array.
+        pair = np.vstack((seconds, kernels))
+        reports = []
+        for i, sl in enumerate(stack.segments):
+            total_seconds, kernel_count = pair[:, sl].sum(axis=1).tolist()
+            reports.append(
+                self._finish_report(
+                    stack.tables[i],
+                    total_seconds,
+                    kernel_count,
+                    chunked,
+                    phase_dicts[i],
+                    subphase_dicts[i],
+                )
+            )
+        return reports
+
+    def simulate_stack_totals(
+        self, stack: StackedOperatorTable, chunked: bool = False
+    ) -> List[float]:
+        """Per-segment ``total_seconds`` only — no report materialization.
+
+        Same contiguous-slice sums as :meth:`simulate_stack` (``ndarray.sum``
+        delegates to ``np.add.reduce``), so each float is bit-identical to the
+        full-report path; memory feasibility is the caller's concern (see
+        :meth:`fits_in_memory`, which is memoized).
+        """
+        seconds, _ = self._operator_columns(stack, chunked)
+        total = np.add.reduce
+        return np.fromiter(
+            (total(seconds[sl]) for sl in stack.segments),
+            dtype=np.float64,
+            count=stack.num_segments,
+        ).tolist()
 
     def simulate_workload(self, workload: Workload, chunked: bool = False) -> GPULatencyReport:
         """Simulate an explicit workload through the columnar engine."""
@@ -218,7 +301,14 @@ class GPUModel:
         return self.weight_bytes() + self.peak_activation_bytes(sequence_length, chunked=chunked)
 
     def fits_in_memory(self, sequence_length: int, chunked: bool = False) -> bool:
-        return self.peak_memory_bytes(sequence_length, chunked=chunked) <= self.gpu.memory_gb * 1e9
+        key = (int(sequence_length), bool(chunked))
+        cached = self._fits_cache.get(key)
+        if cached is None:
+            cached = self._fits_cache[key] = (
+                self.peak_memory_bytes(sequence_length, chunked=chunked)
+                <= self.gpu.memory_gb * 1e9
+            )
+        return cached
 
     def max_sequence_length(self, chunked: bool = False, upper: int = 20000) -> int:
         """Longest sequence that fits in GPU memory (binary search)."""

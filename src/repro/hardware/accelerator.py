@@ -29,7 +29,7 @@ import numpy as np
 from ..core.aaq import AAQConfig
 from ..ppm.activation_tap import GROUP_C
 from ..ppm.config import PPMConfig
-from ..ppm.op_table import OperatorTable, get_op_table
+from ..ppm.op_table import OperatorTable, StackedOperatorTable, get_op_table
 from ..ppm.workload import (
     ENGINE_MATMUL,
     PHASE_INPUT_EMBEDDING,
@@ -292,8 +292,14 @@ class LightNobelAccelerator:
             _latencies=operator_latencies,
         )
 
-    def simulate_table(self, table: OperatorTable) -> LatencyReport:
-        """Vectorized simulation over the columns of an :class:`OperatorTable`."""
+    def _engine_cycles(self, table) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """(rmpu, vvpu, memory, dram) per-operator arrays over table columns.
+
+        ``table`` is anything exposing the columnar protocol — an
+        :class:`OperatorTable` or a :class:`~repro.ppm.op_table.StackedOperatorTable`.
+        Every expression is elementwise, so evaluating a stacked concatenation
+        yields, per segment, bit-identical values to the per-length call.
+        """
         params = self._group_parameters(table.groups)
         g = table.group_codes
         fill = float(self.hw_config.pipeline_fill_cycles)
@@ -332,25 +338,51 @@ class LightNobelAccelerator:
         memory_cycles = np.where(
             dram > 0, np.ceil(dram / burst) * burst / self.hbm.bytes_per_cycle, 0.0
         )
+        return rmpu_cycles, vvpu_cycles, memory_cycles, dram
 
+    def _assemble_report(
+        self,
+        table: OperatorTable,
+        rmpu_cycles: np.ndarray,
+        vvpu_cycles: np.ndarray,
+        memory_cycles: np.ndarray,
+        dram: np.ndarray,
+    ) -> LatencyReport:
+        """Reduce per-operator engine cycles to one :class:`LatencyReport`."""
         stage = (
             np.maximum(np.maximum(rmpu_cycles, vvpu_cycles), memory_cycles)
             + self.hw_config.per_op_overhead_cycles
         )
-        total = float(np.sum(stage)) + self.hw_config.pipeline_fill_cycles
+        return self._finish_report(
+            table,
+            stage,
+            rmpu_cycles,
+            vvpu_cycles,
+            memory_cycles,
+            dram,
+            table.weighted_sums("phase", stage),
+            table.weighted_sums("subphase", stage),
+        )
 
-        phase_cycles = table.weighted_sums("phase", stage)
-        subphase_cycles = {
-            sub: cycles for sub, cycles in table.weighted_sums("subphase", stage).items() if sub
-        }
-
+    def _finish_report(
+        self,
+        table: OperatorTable,
+        stage: np.ndarray,
+        rmpu_cycles: np.ndarray,
+        vvpu_cycles: np.ndarray,
+        memory_cycles: np.ndarray,
+        dram: np.ndarray,
+        phase_cycles: Dict[str, float],
+        subphase_cycles: Dict[str, float],
+    ) -> LatencyReport:
+        total = float(stage.sum()) + self.hw_config.pipeline_fill_cycles
         return LatencyReport(
             sequence_length=table.sequence_length,
             total_cycles=total,
             total_seconds=total / self.hw_config.cycles_per_second,
             phase_cycles=phase_cycles,
-            subphase_cycles=subphase_cycles,
-            dram_bytes=float(np.sum(dram)),
+            subphase_cycles={sub: c for sub, c in subphase_cycles.items() if sub},
+            dram_bytes=float(dram.sum()),
             _columns=_LatencyColumns(
                 names=table.names,
                 phase_codes=table.phase_codes,
@@ -362,6 +394,72 @@ class LightNobelAccelerator:
                 memory_cycles=memory_cycles,
             ),
         )
+
+    def simulate_table(self, table: OperatorTable) -> LatencyReport:
+        """Vectorized simulation over the columns of an :class:`OperatorTable`."""
+        rmpu, vvpu, memory, dram = self._engine_cycles(table)
+        return self._assemble_report(table, rmpu, vvpu, memory, dram)
+
+    def simulate_stack(self, stack: StackedOperatorTable) -> List[LatencyReport]:
+        """One vectorized pass over a whole length mix; one report per segment.
+
+        The engine arithmetic runs once over the stacked concatenation, the
+        phase/subphase reductions once over combined (segment, label) bins,
+        and per-segment totals over contiguous slices — all accumulation
+        orders match the per-length call, so every returned report is
+        bit-identical to :meth:`simulate_table` on that length (asserted by
+        ``tests/test_stacked_table.py``).
+        """
+        rmpu, vvpu, memory, dram = self._engine_cycles(stack)
+        stage = (
+            np.maximum(np.maximum(rmpu, vvpu), memory)
+            + self.hw_config.per_op_overhead_cycles
+        )
+        phase_dicts = stack.segment_weighted_sums_all("phase", stage)
+        subphase_dicts = stack.segment_weighted_sums_all("subphase", stage)
+        return [
+            self._finish_report(
+                stack.tables[i],
+                stage[sl],
+                rmpu[sl],
+                vvpu[sl],
+                memory[sl],
+                dram[sl],
+                phase_dicts[i],
+                subphase_dicts[i],
+            )
+            for i, sl in enumerate(stack.segments)
+        ]
+
+    def simulate_stack_totals(self, stack: StackedOperatorTable) -> List[float]:
+        """Per-segment ``total_seconds`` only — no report materialization.
+
+        Totals-only consumers (the planner's service-time prefetch prices
+        thousands of lengths and reads nothing but the scalar) skip the
+        per-segment ``LatencyReport`` assembly entirely.  Each total is the
+        same contiguous-slice sum :meth:`simulate_table` computes
+        (``ndarray.sum`` delegates to ``np.add.reduce``), so the floats are
+        bit-identical to the full-report path.
+        """
+        rmpu, vvpu, memory, _ = self._engine_cycles(stack)
+        # Same max/max/add chain as the report paths, fused in place (the
+        # intermediates are private here, and in-place ufuncs produce the
+        # identical floats).
+        stage = np.maximum(rmpu, vvpu)
+        np.maximum(stage, memory, out=stage)
+        stage += self.hw_config.per_op_overhead_cycles
+        total = np.add.reduce
+        totals = np.fromiter(
+            (total(stage[sl]) for sl in stack.segments),
+            dtype=np.float64,
+            count=stack.num_segments,
+        )
+        # Elementwise add/divide on float64 matches the per-report scalar
+        # arithmetic bit for bit.
+        return (
+            (totals + self.hw_config.pipeline_fill_cycles)
+            / self.hw_config.cycles_per_second
+        ).tolist()
 
     def simulate_workload(self, workload: Workload) -> LatencyReport:
         """Simulate an explicit workload through the columnar engine."""

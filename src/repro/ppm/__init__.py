@@ -26,8 +26,10 @@ from .model import PredictionResult, ProteinStructureModel
 from .modules import LayerNorm, Linear, Module, Transition
 from .op_table import (
     OperatorTable,
+    StackedOperatorTable,
     clear_workload_caches,
     get_op_table,
+    get_stacked_table,
     get_workload,
     workload_cache_info,
 )
@@ -57,6 +59,7 @@ __all__ = [
     "Linear",
     "Module",
     "OperatorTable",
+    "StackedOperatorTable",
     "OuterProductMean",
     "PPMConfig",
     "PredictionResult",
@@ -75,6 +78,7 @@ __all__ = [
     "context_observes_taps",
     "gelu",
     "get_op_table",
+    "get_stacked_table",
     "get_workload",
     "iter_chunks",
     "layer_norm",

@@ -14,13 +14,22 @@ are single vectorized expressions instead of Python loops.  Tables convert
 losslessly to and from :class:`~repro.ppm.workload.Workload`, and
 :func:`get_op_table` / :func:`get_workload` add an LRU cache keyed on
 ``(config, n, include_recycles)`` so repeated sweeps stop rebuilding the graph.
+
+:class:`StackedOperatorTable` generalizes one table to a whole *traffic mix*:
+the tables of many distinct sequence lengths concatenated into one ragged
+column set with per-length segment offsets.  A latency backend evaluates its
+vectorized expressions once over the full stack and reduces each segment back
+to its per-length report, so pricing a mix of hundreds of distinct lengths is
+one numpy pass instead of one engine invocation per length.  Each segment's
+columns are bytewise the per-length table's columns, which keeps stacked
+evaluation bit-identical to the per-length path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -262,6 +271,254 @@ class OperatorTable:
         return self.groupby_sum("phase", column)
 
 
+def _remap_codes(
+    codes: Sequence[np.ndarray], vocabs: Sequence[Tuple]
+) -> Tuple[np.ndarray, Tuple]:
+    """Concatenate per-table code arrays under one shared (union) vocabulary.
+
+    Fast path: when every table factorized its labels identically (the norm —
+    one config emits the same operator sequence at every length), the shared
+    vocab *is* the per-table vocab and the codes concatenate untouched.
+    Otherwise each table's codes are remapped through a small lookup array
+    (vectorized; no per-operator Python).
+    """
+    first = vocabs[0]
+    if all(vocab == first for vocab in vocabs[1:]):
+        return np.concatenate(codes), first
+    union: List = []
+    index: Dict = {}
+    remapped: List[np.ndarray] = []
+    for table_codes, vocab in zip(codes, vocabs):
+        lookup = np.empty(len(vocab), dtype=np.int64)
+        for i, label in enumerate(vocab):
+            code = index.get(label)
+            if code is None:
+                code = len(union)
+                index[label] = code
+                union.append(label)
+            lookup[i] = code
+        remapped.append(lookup[table_codes])
+    return np.concatenate(remapped), tuple(union)
+
+
+@dataclass(frozen=True, eq=False)
+class StackedOperatorTable:
+    """Operator tables of many sequence lengths, concatenated column-wise.
+
+    Segment ``i`` (rows ``segment_starts[i]:segment_starts[i+1]``) holds the
+    operators of ``lengths[i]`` — bytewise the columns of ``tables[i]`` — so
+    any elementwise latency expression evaluated over the stacked columns
+    produces, per segment, exactly the values the per-length evaluation
+    would.  Label vocabularies are shared across segments (codes remapped at
+    build time) so per-group/per-engine parameter gathers also run once.
+    """
+
+    config: PPMConfig
+    lengths: Tuple[int, ...]
+    tables: Tuple[OperatorTable, ...]
+    segment_starts: np.ndarray
+    engines: Tuple[str, ...]
+    engine_codes: np.ndarray
+    phases: Tuple[str, ...]
+    phase_codes: np.ndarray
+    subphases: Tuple[str, ...]
+    subphase_codes: np.ndarray
+    groups: Tuple[Optional[str], ...]
+    group_codes: np.ndarray
+    macs: np.ndarray
+    vector_ops: np.ndarray
+    input_elements: np.ndarray
+    output_elements: np.ndarray
+    weight_elements: np.ndarray
+    fusible: np.ndarray
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def from_tables(cls, tables: Sequence[OperatorTable]) -> "StackedOperatorTable":
+        if not tables:
+            raise ValueError("cannot stack zero operator tables")
+        config = tables[0].config
+        for table in tables[1:]:
+            if table.config != config:
+                raise ValueError("all stacked tables must share one PPMConfig")
+        lengths = tuple(t.sequence_length for t in tables)
+        if len(set(lengths)) != len(lengths):
+            raise ValueError("stacked lengths must be distinct")
+        starts = np.zeros(len(tables) + 1, dtype=np.int64)
+        np.cumsum([len(t) for t in tables], out=starts[1:])
+        engine_codes, engines = _remap_codes(
+            [t.engine_codes for t in tables], [t.engines for t in tables]
+        )
+        phase_codes, phases = _remap_codes(
+            [t.phase_codes for t in tables], [t.phases for t in tables]
+        )
+        subphase_codes, subphases = _remap_codes(
+            [t.subphase_codes for t in tables], [t.subphases for t in tables]
+        )
+        group_codes, groups = _remap_codes(
+            [t.group_codes for t in tables], [t.groups for t in tables]
+        )
+        return cls(
+            config=config,
+            lengths=lengths,
+            tables=tuple(tables),
+            segment_starts=_freeze(starts),
+            engines=engines,
+            engine_codes=_freeze(engine_codes),
+            phases=phases,
+            phase_codes=_freeze(phase_codes),
+            subphases=subphases,
+            subphase_codes=_freeze(subphase_codes),
+            groups=groups,
+            group_codes=_freeze(group_codes),
+            macs=_freeze(np.concatenate([t.macs for t in tables])),
+            vector_ops=_freeze(np.concatenate([t.vector_ops for t in tables])),
+            input_elements=_freeze(np.concatenate([t.input_elements for t in tables])),
+            output_elements=_freeze(np.concatenate([t.output_elements for t in tables])),
+            weight_elements=_freeze(np.concatenate([t.weight_elements for t in tables])),
+            fusible=_freeze(np.concatenate([t.fusible for t in tables])),
+        )
+
+    # ---------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return int(self.segment_starts[-1])
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.lengths)
+
+    @property
+    def flops(self) -> np.ndarray:
+        return 2.0 * self.macs + self.vector_ops
+
+    def segment(self, index: int) -> slice:
+        """Row slice of segment ``index`` in the stacked columns."""
+        return self.segments[index]
+
+    @property
+    def segments(self) -> Tuple[slice, ...]:
+        """All segment slices, materialized once per stack."""
+        cached = self.__dict__.get("_segments")
+        if cached is None:
+            bounds = self.segment_starts.tolist()
+            cached = tuple(
+                slice(lo, hi) for lo, hi in zip(bounds[:-1], bounds[1:])
+            )
+            object.__setattr__(self, "_segments", cached)
+        return cached
+
+    def segment_table(self, index: int) -> OperatorTable:
+        """The source per-length table of segment ``index``."""
+        return self.tables[index]
+
+    def segment_index(self, sequence_length: int) -> int:
+        """Segment holding ``sequence_length`` (raises ``ValueError`` if absent)."""
+        return self.lengths.index(int(sequence_length))
+
+    # ----------------------------------------------------------------- masks
+    def engine_mask(self, engine: str) -> np.ndarray:
+        if engine not in self.engines:
+            return np.zeros(len(self), dtype=bool)
+        return self.engine_codes == self.engines.index(engine)
+
+    def phase_mask(self, phase: str) -> np.ndarray:
+        if phase not in self.phases:
+            return np.zeros(len(self), dtype=bool)
+        return self.phase_codes == self.phases.index(phase)
+
+    # ------------------------------------------------------------- reductions
+    def segment_sums(self, values: np.ndarray) -> List[float]:
+        """Per-segment sum of a stacked per-operator array.
+
+        Summed slice by slice (not via ``reduceat``): each slice is the
+        contiguous per-length array, so numpy's pairwise summation yields the
+        bit-identical total the per-length evaluation computes.
+        """
+        return [
+            float(np.sum(values[self.segment(i)])) for i in range(self.num_segments)
+        ]
+
+    def segment_weighted_sums(self, key: str, values: np.ndarray) -> List[Dict]:
+        """Per-segment :meth:`OperatorTable.weighted_sums` over stacked values.
+
+        Delegates each segment's reduction to its source table (per-length
+        codes and vocab order), so labels and floats match the per-length
+        path exactly.
+        """
+        return [
+            self.tables[i].weighted_sums(key, values[self.segment(i)])
+            for i in range(self.num_segments)
+        ]
+
+    def _stacked_codes_for(self, key: str) -> Tuple[np.ndarray, Tuple]:
+        try:
+            return {
+                "phase": (self.phase_codes, self.phases),
+                "subphase": (self.subphase_codes, self.subphases),
+                "engine": (self.engine_codes, self.engines),
+                "group": (self.group_codes, self.groups),
+            }[key]
+        except KeyError:
+            raise ValueError(
+                f"unknown groupby key {key!r}; expected phase/subphase/engine/group"
+            ) from None
+
+    def _reduction_plan(self, key: str) -> Tuple[np.ndarray, int, Tuple]:
+        """(combined bins, minlength, per-segment label layout) for ``key``.
+
+        Built once per stack and cached: stacks themselves are LRU-cached, so
+        repeated pricing of the same length mix skips the bin-index and
+        vocab-layout construction entirely.
+        """
+        cache = self.__dict__.get("_plans")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_plans", cache)
+        plan = cache.get(key)
+        if plan is None:
+            codes, vocab = self._stacked_codes_for(key)
+            width = len(vocab)
+            counts = np.diff(self.segment_starts)
+            segment_ids = np.repeat(
+                np.arange(self.num_segments, dtype=np.int64), counts
+            )
+            shared_index = {label: code for code, label in enumerate(vocab)}
+            layouts = []
+            for i, table in enumerate(self.tables):
+                _, table_vocab = table._codes_for(key)
+                base = i * width
+                layouts.append(
+                    tuple((label, base + shared_index[label]) for label in table_vocab)
+                )
+            plan = (
+                _freeze(segment_ids * width + codes),
+                self.num_segments * width,
+                tuple(layouts),
+            )
+            cache[key] = plan
+        return plan
+
+    def segment_weighted_sums_all(self, key: str, values: np.ndarray) -> List[Dict]:
+        """Every segment's ``weighted_sums(key, ...)`` dict from ONE bincount.
+
+        The combined bin index is ``segment * len(vocab) + code``.
+        ``np.bincount`` accumulates elements in array order, and each
+        (segment, label) bin receives exactly the elements — in exactly the
+        order — that the per-length bincount would, so every float matches
+        :meth:`segment_weighted_sums` bit for bit.  Each segment's dict is
+        built over its source table's own vocab (labels and ordering), so the
+        result is interchangeable with the per-length path.
+        """
+        bins, minlength, layouts = self._reduction_plan(key)
+        # One tolist() converts every bin to a Python float (exact for
+        # float64), avoiding a numpy-scalar __float__ per (segment, label).
+        combined = np.bincount(bins, weights=values, minlength=minlength).tolist()
+        return [
+            {label: combined[idx] for label, idx in layout}
+            for layout in layouts
+        ]
+
+
 # ------------------------------------------------------------------- caching
 @lru_cache(maxsize=64)
 def _cached_workload(config: PPMConfig, n: int, include_recycles: bool) -> Workload:
@@ -293,8 +550,34 @@ def get_op_table(config: PPMConfig, n: int, include_recycles: bool = False) -> O
     return _cached_table(config, int(n), bool(include_recycles))
 
 
+@lru_cache(maxsize=32)
+def _cached_stack(
+    config: PPMConfig, lengths: Tuple[int, ...], include_recycles: bool
+) -> StackedOperatorTable:
+    return StackedOperatorTable.from_tables(
+        [_cached_table(config, n, include_recycles) for n in lengths]
+    )
+
+
+def get_stacked_table(
+    config: PPMConfig, lengths: Iterable[int], include_recycles: bool = False
+) -> StackedOperatorTable:
+    """LRU-cached stacked table over the *distinct, sorted* ``lengths``.
+
+    The stack is canonicalized (sorted, deduplicated) so every caller asking
+    for the same length *set* — in any order, with any duplication — shares
+    one cached stack; callers look segments up via
+    :meth:`StackedOperatorTable.segment_index`.
+    """
+    canonical = tuple(sorted({int(n) for n in lengths}))
+    if not canonical:
+        raise ValueError("lengths must contain at least one sequence length")
+    return _cached_stack(config, canonical, bool(include_recycles))
+
+
 def clear_workload_caches() -> None:
     """Drop all cached workloads/tables (mainly for tests and memory pressure)."""
+    _cached_stack.cache_clear()
     _cached_table.cache_clear()
     _cached_workload.cache_clear()
 

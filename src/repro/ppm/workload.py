@@ -90,6 +90,19 @@ class Workload:
             ops = [op for op in ops if op.engine == engine]
         return ops
 
+    def structure_signature(self) -> tuple:
+        """Length-invariant identity of the operator sequence.
+
+        Two workloads of the same config at different sequence lengths share
+        this signature (only the numeric columns scale with ``n``) — the
+        property that lets :class:`~repro.ppm.op_table.StackedOperatorTable`
+        concatenate per-length tables under one shared label vocabulary.
+        """
+        return tuple(
+            (op.name, op.engine, op.phase, op.subphase, op.output_group, op.fusible)
+            for op in self.operators
+        )
+
 
 def _linear_op(
     name: str,

@@ -39,6 +39,7 @@ from .api import (
     LatencyResponse,
     LatencyServiceError,
     dispatch_order_key,
+    length_bucket,
 )
 from .service import LatencyService
 from .stats import ServiceStats, percentile
@@ -52,5 +53,6 @@ __all__ = [
     "LatencyServiceError",
     "ServiceStats",
     "dispatch_order_key",
+    "length_bucket",
     "percentile",
 ]

@@ -29,6 +29,21 @@ class LatencyServiceError(RuntimeError):
     """A request failed inside the service (bad spec, simulator error)."""
 
 
+def length_bucket(sequence_length: int, bucket_size: Optional[int]) -> int:
+    """Shape-bucket index of a sequence length.
+
+    ``bucket_size=None`` (or 0) puts every length in one shared bucket —
+    maximal batching.  A positive ``bucket_size`` groups lengths into
+    ``(length - 1) // bucket_size`` buckets, bounding how many distinct
+    lengths one stacked simulation spans.  Bucketing only changes *batching
+    granularity*: each bucket's stack still contains the exact requested
+    lengths, so per-length results are identical either way.
+    """
+    if not bucket_size or int(bucket_size) <= 0:
+        return 0
+    return (int(sequence_length) - 1) // int(bucket_size)
+
+
 def dispatch_order_key(
     priority: int, deadline: Optional[float], sequence: int
 ) -> Tuple[int, float, int]:
@@ -137,6 +152,12 @@ class CapacityReport:
     ``result``/``poll`` may still consume it); ``pool_rebuilds`` counts times
     the dispatcher replaced a broken worker pool with a fresh one before
     falling back to serial execution.
+
+    Stacked-batch counters: ``stacked_batches`` counts shape-bucketed batches
+    the dispatcher priced with one vectorized stacked pass;
+    ``stacked_points`` counts the (backend, length) points those passes
+    covered — points that would each have cost a separate simulation on the
+    per-length path.
     """
 
     requests: int
@@ -153,6 +174,8 @@ class CapacityReport:
     backends: Tuple[BackendServiceStats, ...] = field(default_factory=tuple)
     timed_out: int = 0
     pool_rebuilds: int = 0
+    stacked_batches: int = 0
+    stacked_points: int = 0
 
     @property
     def hit_rate(self) -> float:

@@ -10,6 +10,13 @@ into something that answers concurrent, multi-tenant traffic:
 * **coalescing** — duplicate in-flight (backend, length) queries attach to
   the first one's job, so N identical concurrent requests cost exactly one
   simulation (the NeMo-style same-shape batching, applied to sim points),
+* **shape-bucketed batch admission** — serial-path jobs that share a backend
+  spec (and recycles flag) are grouped by length bucket
+  (:func:`repro.serving.api.length_bucket`; ``length_bucket_size=None`` =
+  one shared bucket) and each multi-length group is priced by **one**
+  vectorized stacked pass through
+  :meth:`repro.sim.session.SimulationSession.simulate_batch`, seeding the
+  shared memo for every member — bit-identical to per-length simulation,
 * **worker pool** — each drained batch of *unique* jobs is evaluated either
   serially through the shared session (memo + disk cache) or, with
   ``workers > 1``, sharded via :func:`repro.sim.sweep.sweep` across a
@@ -57,6 +64,7 @@ from .api import (
     LatencyResponse,
     LatencyServiceError,
     dispatch_order_key,
+    length_bucket,
 )
 from .stats import ServiceStats
 
@@ -187,6 +195,12 @@ class LatencyService:
     ``REPRO_SIM_CACHE_DIR`` enable the shared disk cache exactly as on a bare
     session.
 
+    On the serial path, jobs sharing a backend spec are additionally grouped
+    by shape bucket (``length_bucket_size``; ``None`` = one shared bucket)
+    and each multi-length group is priced in a single stacked pass — see the
+    module docstring.  Results are bit-identical to per-length simulation, so
+    the bucket width is purely a batching-granularity knob.
+
     The dispatcher thread starts lazily on first submit (``autostart=True``)
     or explicitly via :meth:`start` — tests submit with ``autostart=False``
     to stage a concurrent batch deterministically.  The service is a context
@@ -205,6 +219,7 @@ class LatencyService:
         session: Optional[SimulationSession] = None,
         max_batch: int = 64,
         autostart: bool = True,
+        length_bucket_size: Optional[int] = None,
     ) -> None:
         if session is not None:
             if ppm_config is not None and ppm_config != session.ppm_config:
@@ -236,6 +251,8 @@ class LatencyService:
         self.workers = resolve_workers(workers)
         self.max_batch = int(max_batch)
         self.autostart = bool(autostart)
+        #: Shape-bucket width for stacked batch admission (None = one bucket).
+        self.length_bucket_size = length_bucket_size
         self.stats = ServiceStats()
 
         self._cond = threading.Condition()
@@ -466,6 +483,8 @@ class LatencyService:
             backends=tuple(self.stats.backend_summaries()),
             timed_out=int(snap["timeouts"]),
             pool_rebuilds=int(snap["pool_rebuilds"]),
+            stacked_batches=int(snap["stacked_batches"]),
+            stacked_points=int(snap["stacked_points"]),
         )
 
     # -------------------------------------------------------------- dispatcher
@@ -531,6 +550,7 @@ class LatencyService:
         """Evaluate unique jobs; returns key -> (report, error, memo_hit)."""
         results: Dict[Tuple, Tuple[Optional[SimReport], Optional[str], bool]] = {}
         pooled: List[_Job] = []
+        serial: List[_Job] = []
         with self._session_lock:
             for job in jobs:
                 try:
@@ -549,7 +569,23 @@ class LatencyService:
                 ):
                     pooled.append(job)
                 else:
-                    results[job.key] = self._simulate_serial(job)
+                    serial.append(job)
+            # Shape-bucketed batch admission: serial jobs sharing a backend
+            # spec (and recycles flag) within one length bucket are priced by
+            # a single stacked pass; loners keep the plain per-job path.
+            buckets: Dict[Tuple, List[_Job]] = {}
+            for job in serial:
+                bucket = (
+                    job.key[0],
+                    job.include_recycles,
+                    length_bucket(job.sequence_length, self.length_bucket_size),
+                )
+                buckets.setdefault(bucket, []).append(job)
+            for group in buckets.values():
+                if len(group) > 1:
+                    self._simulate_bucketed(group, results)
+                else:
+                    results[group[0].key] = self._simulate_serial(group[0])
             if len(pooled) == 1:
                 # A single point gains nothing from a pool; keep it in-session.
                 results[pooled[0].key] = self._simulate_serial(pooled[0])
@@ -570,6 +606,36 @@ class LatencyService:
             return (None, str(exc), False)
         self.stats.record_simulations(1)
         return (report, None, False)
+
+    def _simulate_bucketed(
+        self,
+        jobs: List[_Job],
+        results: Dict[Tuple, Tuple[Optional[SimReport], Optional[str], bool]],
+    ) -> None:
+        """Price one shape bucket (same spec, same recycles flag) in one pass.
+
+        Delegates to :meth:`SimulationSession.simulate_batch`, which stacks
+        the distinct lengths and evaluates stacking-capable backends with one
+        vectorized call (seeding the shared memo for every member).  Any
+        failure falls back to the per-job serial path, so bucketing never
+        costs correctness.
+        """
+        include = jobs[0].include_recycles
+        lengths = sorted({job.sequence_length for job in jobs})
+        try:
+            batch = self.session.simulate_batch(
+                lengths, backends=[jobs[0].spec], include_recycles=include
+            )
+            name = batch.backends[0]
+            reports = {n: batch.report(name, n) for n in lengths}
+        except Exception:
+            for job in jobs:
+                results[job.key] = self._simulate_serial(job)
+            return
+        self.stats.record_simulations(len(lengths))
+        self.stats.record_stacked(batches=1, points=len(lengths))
+        for job in jobs:
+            results[job.key] = (reports[job.sequence_length], None, False)
 
     def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
         """The long-lived worker pool, created lazily (``None`` if unavailable)."""

@@ -5,6 +5,11 @@ batch with duplicates through a pooled service, asserts coalescing happened,
 and checks the served numbers against a direct
 :class:`~repro.sim.session.SimulationSession` before exiting 0 — the serving
 sibling of :mod:`repro.sim.smoke`.
+
+``--bucketed`` exercises the shape-bucketed serial path instead: a serial
+service with a finite ``length_bucket_size`` drains a multi-length batch,
+the smoke asserts stacked batches actually ran, and every served number is
+checked against a direct session (stacked ≡ per-length parity).
 """
 
 from __future__ import annotations
@@ -20,7 +25,10 @@ from .api import LatencyRequest
 from .service import LatencyService
 
 
-def main() -> int:
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if "--bucketed" in argv:
+        return bucketed_main()
     config = PPMConfig.tiny()
     requests = [
         LatencyRequest(backend=spec, sequence_length=n)
@@ -84,6 +92,58 @@ def _run(config: PPMConfig, requests, cache_dir: str) -> int:
         print("FAIL: service reported errors", file=sys.stderr)
         return 1
     print("smoke ok: 2-worker LatencyService batch + coalescing + parity")
+    return 0
+
+
+def bucketed_main() -> int:
+    """Smoke the shape-bucketed serial path: stacked batches + exact parity."""
+    config = PPMConfig.tiny()
+    lengths = (24, 32, 40, 48, 56, 64)
+    requests = [
+        LatencyRequest(backend=spec, sequence_length=n)
+        for spec in ("lightnobel", "h100", "a100-chunk")
+        for n in lengths
+    ]
+    with tempfile.TemporaryDirectory(prefix="repro-serving-smoke-") as cache_dir:
+        with sandbox_cache_dir(cache_dir):
+            # Stage everything before the dispatcher starts so one drained
+            # batch sees every length of each backend (buckets of 32 split
+            # the six lengths into two stacks per backend).
+            service = LatencyService(
+                ppm_config=config,
+                use_disk_cache=False,
+                autostart=False,
+                length_bucket_size=32,
+            )
+            tickets = service.submit_batch(requests)
+            with service:
+                responses = [service.result(t, timeout=120.0) for t in tickets]
+                report = service.capacity_report()
+
+            reference = SimulationSession(ppm_config=config, use_disk_cache=False)
+            for response in responses:
+                response.raise_for_error()
+                direct = reference.simulate(
+                    response.request.sequence_length, backend=response.request.backend
+                )
+                if response.report.total_seconds != direct.total_seconds:
+                    print(
+                        f"FAIL: bucketed {response.request} diverged from direct session",
+                        file=sys.stderr,
+                    )
+                    return 1
+    print(
+        f"bucketed: {report.completed} served, {report.stacked_batches} stacked "
+        f"batches covering {report.stacked_points} points, "
+        f"{report.simulations} simulations"
+    )
+    if report.stacked_batches == 0 or report.stacked_points < len(lengths):
+        print("FAIL: shape-bucketed path did not run stacked batches", file=sys.stderr)
+        return 1
+    if report.errors:
+        print("FAIL: service reported errors", file=sys.stderr)
+        return 1
+    print("smoke ok: shape-bucketed LatencyService batch + stacked parity")
     return 0
 
 

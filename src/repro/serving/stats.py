@@ -72,6 +72,8 @@ class ServiceStats:
         self.peak_queue_depth = 0
         self.timeouts = 0
         self.pool_rebuilds = 0
+        self.stacked_batches = 0
+        self.stacked_points = 0
         self._backends: Dict[str, LatencyReservoir] = {}
 
     # ------------------------------------------------------------- submission
@@ -122,6 +124,12 @@ class ServiceStats:
         with self._lock:
             self.pool_rebuilds += 1
 
+    def record_stacked(self, batches: int, points: int) -> None:
+        """A shape-bucketed batch priced ``points`` lengths in one stacked pass."""
+        with self._lock:
+            self.stacked_batches += int(batches)
+            self.stacked_points += int(points)
+
     # ------------------------------------------------------------------ reads
     @property
     def hit_rate(self) -> float:
@@ -152,6 +160,8 @@ class ServiceStats:
                 "peak_queue_depth": self.peak_queue_depth,
                 "timeouts": self.timeouts,
                 "pool_rebuilds": self.pool_rebuilds,
+                "stacked_batches": self.stacked_batches,
+                "stacked_points": self.stacked_points,
                 "backends": {
                     name: reservoir.summary(name)
                     for name, reservoir in self._backends.items()

@@ -27,7 +27,16 @@ dataclasses, so sweep points ship cleanly across process boundaries.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Mapping, Optional, Protocol, Tuple, runtime_checkable
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
 
 from .._digest import stable_digest
 from ..core.aaq import AAQConfig
@@ -36,7 +45,7 @@ from ..gpu.gpu_model import GPUModel
 from ..hardware.accelerator import LightNobelAccelerator
 from ..hardware.config import LightNobelConfig
 from ..ppm.config import PPMConfig
-from ..ppm.op_table import OperatorTable, get_op_table
+from ..ppm.op_table import OperatorTable, StackedOperatorTable, get_op_table
 from ..ppm.workload import PHASE_PAIR, PHASE_SEQUENCE
 
 
@@ -63,7 +72,14 @@ class SimReport:
 
 @runtime_checkable
 class LatencyBackend(Protocol):
-    """Anything that turns an operator table into a :class:`SimReport`."""
+    """Anything that turns an operator table into a :class:`SimReport`.
+
+    Backends may additionally implement
+    ``simulate_stack(stack: StackedOperatorTable) -> List[SimReport]`` —
+    one vectorized pass over a whole length mix, bit-identical per segment to
+    ``simulate_table`` — which the session/sweep layers use when present
+    (:func:`supports_stacking`); otherwise they fall back to per-table calls.
+    """
 
     name: str
     ppm_config: PPMConfig
@@ -75,6 +91,34 @@ class LatencyBackend(Protocol):
     def config_digest(self) -> str:
         """Stable hash of everything that affects this backend's numbers."""
         ...
+
+
+def supports_stacking(backend) -> bool:
+    """Whether ``backend`` can evaluate a :class:`StackedOperatorTable` in one pass."""
+    return callable(getattr(backend, "simulate_stack", None))
+
+
+#: Memo for backend config digests keyed by the (hashable, frozen) config
+#: values themselves.  Sessions are cheap to create, so the same handful of
+#: configurations gets re-digested constantly; the JSON canonicalization
+#: behind :func:`stable_digest` is the single largest cost of standing up a
+#: session.  Bounded: cleared wholesale if an unexpected config churn ever
+#: grows it past the cap.
+_DIGEST_MEMO: Dict[Tuple, str] = {}
+_DIGEST_MEMO_LIMIT = 256
+
+
+def _memoized_digest(kind: str, payload: Dict) -> str:
+    try:
+        key = (kind, tuple(sorted(payload.items())))
+        cached = _DIGEST_MEMO.get(key)
+    except TypeError:  # unhashable config object — digest it every time
+        return stable_digest(kind, payload)
+    if cached is None:
+        if len(_DIGEST_MEMO) >= _DIGEST_MEMO_LIMIT:
+            _DIGEST_MEMO.clear()
+        cached = _DIGEST_MEMO[key] = stable_digest(kind, payload)
+    return cached
 
 
 class AcceleratorBackend:
@@ -100,12 +144,11 @@ class AcceleratorBackend:
         self.ppm_config = simulator.ppm_config
         self.name = name or "lightnobel"
 
-    def simulate_table(self, table: OperatorTable) -> SimReport:
-        report = self.simulator.simulate_table(table)
+    def _to_sim_report(self, report) -> SimReport:
         clock = self.simulator.hw_config.cycles_per_second
         return SimReport(
             backend=self.name,
-            sequence_length=table.sequence_length,
+            sequence_length=report.sequence_length,
             total_seconds=report.total_seconds,
             phase_seconds=report.phase_seconds(clock),
             subphase_seconds={
@@ -118,12 +161,25 @@ class AcceleratorBackend:
             },
         )
 
+    def simulate_table(self, table: OperatorTable) -> SimReport:
+        return self._to_sim_report(self.simulator.simulate_table(table))
+
+    def simulate_stack(self, stack: StackedOperatorTable) -> List[SimReport]:
+        """One vectorized engine pass over a length mix; reports per segment."""
+        return [self._to_sim_report(r) for r in self.simulator.simulate_stack(stack)]
+
+    def simulate_stack_totals(
+        self, stack: StackedOperatorTable
+    ) -> List[Tuple[float, bool]]:
+        """Per-segment ``(total_seconds, out_of_memory)`` without reports."""
+        return [(t, False) for t in self.simulator.simulate_stack_totals(stack)]
+
     def simulate(self, sequence_length: int) -> SimReport:
         """Convenience path when no session manages the table cache."""
         return self.simulate_table(get_op_table(self.ppm_config, sequence_length))
 
     def config_digest(self) -> str:
-        return stable_digest(
+        return _memoized_digest(
             type(self).__name__,
             {
                 "hw": self.simulator.hw_config,
@@ -150,17 +206,41 @@ class GPUBackend:
         default = self.model.gpu.name.lower() + ("-chunk" if chunked else "")
         self.name = name or default
 
-    def simulate_table(self, table: OperatorTable) -> SimReport:
-        report = self.model.simulate_table(table, chunked=self.chunked)
+    def _to_sim_report(self, report) -> SimReport:
+        # The GPULatencyReport is built fresh per call and discarded here, so
+        # its phase/subphase dicts can be adopted without a defensive copy.
         return SimReport(
             backend=self.name,
-            sequence_length=table.sequence_length,
+            sequence_length=report.sequence_length,
             total_seconds=report.total_seconds,
-            phase_seconds=dict(report.phase_seconds),
-            subphase_seconds=dict(report.subphase_seconds),
+            phase_seconds=report.phase_seconds,
+            subphase_seconds=report.subphase_seconds,
             out_of_memory=report.out_of_memory,
             details={"kernel_count": report.kernel_count},
         )
+
+    def simulate_table(self, table: OperatorTable) -> SimReport:
+        return self._to_sim_report(self.model.simulate_table(table, chunked=self.chunked))
+
+    def simulate_stack(self, stack: StackedOperatorTable) -> List[SimReport]:
+        """One vectorized roofline pass over a length mix; reports per segment."""
+        return [
+            self._to_sim_report(r)
+            for r in self.model.simulate_stack(stack, chunked=self.chunked)
+        ]
+
+    def simulate_stack_totals(
+        self, stack: StackedOperatorTable
+    ) -> List[Tuple[float, bool]]:
+        """Per-segment ``(total_seconds, out_of_memory)`` without reports."""
+        fits = self.model.fits_in_memory
+        return [
+            (t, not fits(n, chunked=self.chunked))
+            for t, n in zip(
+                self.model.simulate_stack_totals(stack, chunked=self.chunked),
+                stack.lengths,
+            )
+        ]
 
     def simulate(self, sequence_length: int) -> SimReport:
         """Convenience path when no session manages the table cache."""
@@ -170,7 +250,7 @@ class GPUBackend:
         return self.model.fits_in_memory(sequence_length, chunked=self.chunked)
 
     def config_digest(self) -> str:
-        return stable_digest(
+        return _memoized_digest(
             type(self).__name__,
             {
                 "gpu": self.model.gpu,

@@ -25,8 +25,13 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .._digest import stable_digest
 from ..ppm.config import PPMConfig
-from ..ppm.op_table import OperatorTable, get_op_table
-from .backend import LatencyBackend, SimReport, create_backend
+from ..ppm.op_table import (
+    OperatorTable,
+    StackedOperatorTable,
+    get_op_table,
+    get_stacked_table,
+)
+from .backend import LatencyBackend, SimReport, create_backend, supports_stacking
 from .cache import CACHE_DIR_ENV, DiskCache
 
 import os
@@ -109,8 +114,12 @@ class SimulationSession:
         self.cache: Optional[DiskCache] = DiskCache(cache_dir) if use_disk_cache else None
         self._backends: Dict[str, LatencyBackend] = {}
         self._tables: Dict[Tuple[int, bool], OperatorTable] = {}
+        self._stacks: Dict[Tuple[Tuple[int, ...], bool], StackedOperatorTable] = {}
         self._reports: Dict[Tuple[str, int, bool], SimReport] = {}
         self._backend_digests: Dict[str, str] = {}
+        #: id(backend) -> registered name, the O(1) inverse of ``_backends``
+        #: (the per-spec reverse scan was O(backends) on every simulate call).
+        self._names_by_id: Dict[int, str] = {}
         self._spec_memo: Dict[object, LatencyBackend] = {}
         for spec in backends:
             self.add_backend(spec)
@@ -137,7 +146,20 @@ class SimulationSession:
                 backend.name = key
         self._backends[key] = backend
         self._backend_digests[key] = digest
+        self._names_by_id[id(backend)] = key
         return backend
+
+    def _name_of(self, backend: LatencyBackend) -> str:
+        """Registered name of a resolved backend instance (O(1) reverse map).
+
+        Falls back to a linear scan only if the reverse map went stale (an
+        explicit-name rebinding displaced the instance), mirroring the old
+        per-call ``next(k for k, v in ...)`` behavior.
+        """
+        name = self._names_by_id.get(id(backend))
+        if name is not None and self._backends.get(name) is backend:
+            return name
+        return next(k for k, v in self._backends.items() if v is backend)
 
     def backend(self, spec) -> LatencyBackend:
         """Look up a registered backend by name, or resolve-and-register it."""
@@ -204,6 +226,32 @@ class SimulationSession:
         self._tables[memo_key] = table
         return table
 
+    def stacked_table(
+        self, lengths: Iterable[int], include_recycles: Optional[bool] = None
+    ) -> StackedOperatorTable:
+        """The cached stacked table over the distinct sorted ``lengths``.
+
+        Per-length tables resolve through :meth:`table` (session memo, disk
+        cache, process LRU), so a stack is one concatenation over tables the
+        session already owns; the assembled stack is memoized per length set.
+        """
+        include = self.include_recycles if include_recycles is None else include_recycles
+        canonical = tuple(sorted({int(n) for n in lengths}))
+        memo_key = (canonical, bool(include))
+        stack = self._stacks.get(memo_key)
+        if stack is None:
+            # Tables are deterministic from the config, so the process-wide
+            # stack LRU is shared across sessions: a fresh session pricing a
+            # mix the process has already stacked pays one dict lookup, not a
+            # re-concatenation.
+            stack = get_stacked_table(self.ppm_config, canonical, include_recycles=include)
+            self._stacks[memo_key] = stack
+            # Keep the session invariant that pricing a mix warms the table
+            # memo (segment tables ARE the per-length tables).
+            for n, table in zip(stack.lengths, stack.tables):
+                self._tables.setdefault((n, bool(include)), table)
+        return stack
+
     # -------------------------------------------------------------- simulation
     def _report_key(self, backend_name: str, sequence_length: int, include: bool) -> str:
         digest = stable_digest(
@@ -243,8 +291,7 @@ class SimulationSession:
 
     def _memo_key(self, spec, sequence_length: int, include_recycles: Optional[bool]):
         """(digest, length, recycles) memo key plus the resolved backend name."""
-        resolved = self.backend(spec)
-        name = next(k for k, v in self._backends.items() if v is resolved)
+        name = self._name_of(self.backend(spec))
         include = self.include_recycles if include_recycles is None else include_recycles
         return name, (self._backend_digests[name], int(sequence_length), bool(include))
 
@@ -299,40 +346,121 @@ class SimulationSession:
         if self.cache is not None:
             self.cache.put(self._report_key(name, sequence_length, memo_key[2]), report)
 
+    def _fill_from_stack(
+        self, name: str, lengths: Sequence[int], include: bool
+    ) -> None:
+        """Seed the memo for every length ``name`` is missing, in ONE engine pass.
+
+        Lengths already memoized (or on disk) are skipped; the remaining ones
+        form a :class:`StackedOperatorTable` evaluated with a single
+        ``simulate_stack`` call — bit-identical per segment to the per-length
+        path — and every segment report is seeded into the memo/disk cache.
+        """
+        backend = self._backends[name]
+        if not supports_stacking(backend):
+            return
+        missing = [
+            n
+            for n in lengths
+            if self.peek_report(name, n, include_recycles=include) is None
+        ]
+        if len(missing) < 2:
+            return
+        stack = self.stacked_table(missing, include)
+        reports = backend.simulate_stack(stack)
+        for n in missing:
+            self.seed_report(
+                name, n, reports[stack.segment_index(n)], include_recycles=include
+            )
+
     def simulate_batch(
         self,
         lengths: Iterable[int],
         backends: Optional[Sequence] = None,
         include_recycles: Optional[bool] = None,
     ) -> BatchResult:
-        """Evaluate every backend on every length, one table per distinct length.
+        """Evaluate every backend on every length in one stacked pass per backend.
 
-        Distinct lengths are materialized (from memo, disk, or a fresh build)
-        exactly once, then every backend consumes the shared columnar table —
-        the batch-simulation API the ROADMAP's Fig. 14 dataset averages call
-        for.  Results for repeated lengths are served from the memo.
+        Distinct lengths are stacked into one
+        :class:`~repro.ppm.op_table.StackedOperatorTable` (built at most once
+        per distinct-length set) and each stacking-capable backend prices the
+        whole mix with a single vectorized evaluation; results for repeated
+        lengths — and any length already memoized or on disk — are served
+        from the memo.  Backends without ``simulate_stack`` fall back to the
+        per-length loop.  Both paths return bit-identical reports.
         """
         lengths = [int(n) for n in lengths]
+        include = (
+            self.include_recycles if include_recycles is None else bool(include_recycles)
+        )
         specs = list(backends) if backends is not None else list(self._backends)
-        resolved_names: List[str] = []
-        for spec in specs:
-            resolved = self.backend(spec)
-            resolved_names.append(
-                next(k for k, v in self._backends.items() if v is resolved)
-            )
+        resolved_names = [self._name_of(self.backend(spec)) for spec in specs]
+        distinct = list(dict.fromkeys(lengths))  # preserve order, dedupe
+        for name in dict.fromkeys(resolved_names):
+            self._fill_from_stack(name, distinct, include)
         result = BatchResult(lengths=lengths, backends=resolved_names)
-        for n in dict.fromkeys(lengths):  # preserve order, dedupe
+        for n in distinct:
             for name in resolved_names:
                 result.reports[(name, n)] = self.simulate(
-                    n, backend=name, include_recycles=include_recycles
+                    n, backend=name, include_recycles=include
                 )
         return result
+
+    def batch_total_seconds(
+        self,
+        lengths: Iterable[int],
+        backends: Optional[Sequence] = None,
+        include_recycles: Optional[bool] = None,
+    ) -> List[List[Optional[float]]]:
+        """Total latency of every (backend, length) pair; ``None`` where OOM.
+
+        The totals-only fast path for consumers that read nothing but the
+        scalar (the planner's service-time prefetch): backends exposing
+        ``simulate_stack_totals`` price the whole mix in one engine pass with
+        NO per-length report assembly, which is several times faster again
+        than :meth:`simulate_batch`.  Each total is bit-identical to
+        ``simulate(n, backend).total_seconds``.  Read-only: nothing is seeded
+        into the report memo (recomputing is cheaper than materializing the
+        reports would be).
+
+        Returns one list per entry of ``backends`` (session registration
+        order when omitted), each aligned with ``lengths``.
+        """
+        lengths = [int(n) for n in lengths]
+        include = (
+            self.include_recycles if include_recycles is None else bool(include_recycles)
+        )
+        specs = list(backends) if backends is not None else list(self._backends)
+        names = [self._name_of(self.backend(spec)) for spec in specs]
+        by_name: Dict[str, Dict[int, Optional[float]]] = {}
+        out: List[List[Optional[float]]] = []
+        for name in names:
+            totals = by_name.get(name)
+            if totals is None:
+                backend = self._backends[name]
+                fast = getattr(backend, "simulate_stack_totals", None)
+                distinct = sorted(set(lengths))
+                if callable(fast) and len(distinct) > 1:
+                    stack = self.stacked_table(distinct, include)
+                    totals = {
+                        n: (None if oom else t)
+                        for n, (t, oom) in zip(stack.lengths, fast(stack))
+                    }
+                else:
+                    totals = {}
+                    for n in distinct:
+                        report = self.simulate(n, backend=name, include_recycles=include)
+                        totals[n] = None if report.out_of_memory else report.total_seconds
+                by_name[name] = totals
+            out.append([totals[n] for n in lengths])
+        return out
 
     # -------------------------------------------------------------- accounting
     def stats(self) -> Dict[str, object]:
         """Cache/memoization statistics (for benchmarks and debugging)."""
         return {
             "tables_in_memory": len(self._tables),
+            "stacks_in_memory": len(self._stacks),
             "reports_in_memory": len(self._reports),
             "backends": self.backend_names(),
             "disk_cache": self.cache.stats() if self.cache is not None else None,
@@ -341,4 +469,5 @@ class SimulationSession:
     def clear_memo(self) -> None:
         """Drop the in-memory memo (disk cache entries are kept)."""
         self._tables.clear()
+        self._stacks.clear()
         self._reports.clear()

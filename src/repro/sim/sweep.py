@@ -27,7 +27,8 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..ppm.config import PPMConfig
-from .backend import SimReport, create_backend
+from ..ppm.op_table import StackedOperatorTable
+from .backend import SimReport, create_backend, supports_stacking
 from .session import SimulationSession
 
 #: Environment variable supplying a default worker count for :func:`sweep`.
@@ -85,6 +86,76 @@ def _simulate_point(args: Tuple[Optional[PPMConfig], bool, Any, int]) -> SimRepo
     return backend.simulate_table(session.table(sequence_length))
 
 
+def _simulate_group(
+    args: Tuple[Optional[PPMConfig], bool, Any, Tuple[int, ...]]
+) -> List[SimReport]:
+    """Evaluate every length of one backend spec, stacked when the backend can.
+
+    Returns reports aligned with the ``lengths`` tuple.  Stacked and per-table
+    evaluation are bit-identical, so grouping is purely a performance choice.
+    """
+    ppm_config, include_recycles, spec, lengths = args
+    backend = create_backend(spec, ppm_config)
+    session = _worker_session(backend.ppm_config, include_recycles)
+    distinct = sorted(set(lengths))
+    if len(distinct) > 1 and supports_stacking(backend):
+        stack = StackedOperatorTable.from_tables([session.table(n) for n in distinct])
+        by_length = dict(zip(distinct, backend.simulate_stack(stack)))
+    else:
+        by_length = {n: backend.simulate_table(session.table(n)) for n in distinct}
+    return [by_length[n] for n in lengths]
+
+
+def _spec_group_key(spec: Any) -> Tuple[Any, ...]:
+    """Grouping key for a backend spec: the spec itself when hashable.
+
+    Unhashable specs (e.g. mutable backend instances) fall back to identity,
+    so they still group with themselves when repeated by reference.
+    """
+    try:
+        hash(spec)
+    except TypeError:
+        return ("id", id(spec))
+    return ("spec", spec)
+
+
+def _group_payloads(
+    payloads: List[Tuple[Optional[PPMConfig], bool, Any, int]]
+) -> List[Tuple[Optional[PPMConfig], bool, Any, Tuple[int, ...]]]:
+    """Coalesce per-point payloads into one group payload per backend spec."""
+    order: List[Tuple[Any, ...]] = []
+    groups: Dict[Tuple[Any, ...], Tuple[Any, List[int]]] = {}
+    for ppm_config, include_recycles, spec, length in payloads:
+        key = (_spec_group_key(spec), include_recycles)
+        entry = groups.get(key)
+        if entry is None:
+            groups[key] = (spec, [length])
+            order.append(key)
+        else:
+            entry[1].append(length)
+    first = payloads[0]
+    return [
+        (first[0], key[1], groups[key][0], tuple(groups[key][1])) for key in order
+    ]
+
+
+def _scatter_groups(
+    payloads: List[Tuple[Optional[PPMConfig], bool, Any, int]],
+    group_payloads: List[Tuple[Optional[PPMConfig], bool, Any, Tuple[int, ...]]],
+    group_results: List[List[SimReport]],
+) -> List[SimReport]:
+    """Re-align grouped results with the original point order."""
+    queues: Dict[Tuple[Any, ...], List[SimReport]] = {}
+    for payload, reports in zip(group_payloads, group_results):
+        key = (_spec_group_key(payload[2]), payload[1])
+        queues[key] = list(reports)
+    out: List[SimReport] = []
+    for ppm_config, include_recycles, spec, _length in payloads:
+        key = (_spec_group_key(spec), include_recycles)
+        out.append(queues[key].pop(0))
+    return out
+
+
 def resolve_workers(workers: Optional[int]) -> Optional[int]:
     """Effective worker count: the argument, else ``$REPRO_SIM_WORKERS``."""
     if workers is not None:
@@ -125,20 +196,29 @@ def sweep(
         (ppm_config, bool(include_recycles), p.backend, int(p.sequence_length))
         for p in normalized
     ]
-    if executor is not None and len(payloads) > 0:
+    if not payloads:
+        return []
+    # One shard per backend spec: a group evaluates its whole length set in a
+    # single stacked pass, so grouped shards are the unit of parallelism.
+    group_payloads = _group_payloads(payloads)
+    if executor is not None:
         if chunksize is None:
             # Prefer the caller's workers hint; peek at the executor's width
             # only as a guarded fallback (private attribute, may disappear).
             hint = resolve_workers(workers) or getattr(executor, "_max_workers", None) or 1
-            chunksize = max(1, len(payloads) // (int(hint) * 4))
-        return list(executor.map(_simulate_point, payloads, chunksize=chunksize))
+            chunksize = max(1, len(group_payloads) // (int(hint) * 4))
+        grouped = list(executor.map(_simulate_group, group_payloads, chunksize=chunksize))
+        return _scatter_groups(payloads, group_payloads, grouped)
     workers = resolve_workers(workers)
-    if workers is not None and workers > 1 and len(payloads) > 1:
+    if workers is not None and workers > 1 and len(group_payloads) > 1:
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 if chunksize is None:
-                    chunksize = max(1, len(payloads) // (workers * 4))
-                return list(pool.map(_simulate_point, payloads, chunksize=chunksize))
+                    chunksize = max(1, len(group_payloads) // (workers * 4))
+                grouped = list(
+                    pool.map(_simulate_group, group_payloads, chunksize=chunksize)
+                )
+                return _scatter_groups(payloads, group_payloads, grouped)
         except (
             BrokenProcessPool,
             pickle.PicklingError,
@@ -156,4 +236,5 @@ def sweep(
             # re-raised by the serial pass; other error types propagate from
             # the pool unchanged.
             pass
-    return [_simulate_point(payload) for payload in payloads]
+    grouped = [_simulate_group(payload) for payload in group_payloads]
+    return _scatter_groups(payloads, group_payloads, grouped)
