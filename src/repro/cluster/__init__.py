@@ -61,6 +61,17 @@ The pinned scenario suite and the headline resilience measurement::
     summary = resilience_experiment()           # plan, break, close the loop
     print(*summary.summary_lines(), sep="\\n")
 
+Heterogeneous fleets (PR 8): mixed worker groups with a routing policy on
+top of any scheduler, fleet-vs-fleet pricing, and live-traffic replay::
+
+    from repro.cluster import RequestTrace, compare_fleets, mixed_fleet_experiment
+    report = replay_trace(trace, mixed_fleet, scheduler="edf", router="cost-greedy")
+    summary = mixed_fleet_experiment()          # big+cheap beats all-big, in $/M
+    print(*summary.summary_lines(), sep="\\n")
+
+    trace = RequestTrace.from_serving_log(service.request_log())
+    replay_trace(trace, fleet)                  # replay yesterday's real traffic
+
 Replays are bit-deterministic for fixed trace/fault seeds; scheduling
 policies share priority/deadline semantics with the live
 :class:`~repro.serving.service.LatencyService` dispatcher.
@@ -94,17 +105,34 @@ from .fleet import (
 )
 from .planner import (
     CapacityPlan,
+    FleetComparison,
     PlanPoint,
+    compare_fleets,
     plan_capacity,
     plan_capacity_under_scenarios,
     robust_minimal_fleet,
 )
+from .routing import (
+    ROUTERS,
+    CostGreedyRouter,
+    GroupInfo,
+    LengthThresholdRouter,
+    MemoryFitRouter,
+    RouterSpec,
+    create_router,
+    group_infos,
+    router_name,
+)
 from .scenarios import (
     ClusterScenario,
+    MixedFleetSummary,
     ResilienceSummary,
+    mixed_fleet_experiment,
+    mixed_fleet_trace,
     named_scenario,
     resilience_experiment,
     scenario_suite,
+    small_memory_gpu,
 )
 from .scheduler import (
     BucketedScheduler,
@@ -137,18 +165,26 @@ __all__ = [
     "CapacityPlan",
     "ClusterReport",
     "ClusterScenario",
+    "CostGreedyRouter",
     "DEFAULT_COST_PER_HOUR",
     "DegradedLinkWindow",
     "EDFScheduler",
     "FAIL_FAST",
     "FIFOScheduler",
     "FaultSchedule",
+    "FleetComparison",
     "FleetSpec",
+    "GroupInfo",
+    "LengthThresholdRouter",
+    "MemoryFitRouter",
+    "MixedFleetSummary",
     "MultiChipBackend",
     "MultiChipVariant",
     "NO_FAULTS",
     "NO_SLO",
     "PlanPoint",
+    "ROUTERS",
+    "RouterSpec",
     "RecoveryPolicy",
     "Request",
     "RequestOutcome",
@@ -163,9 +199,14 @@ __all__ = [
     "WorkerGroup",
     "WorkerHealth",
     "bursty_trace",
+    "compare_fleets",
+    "create_router",
     "create_scheduler",
     "dataset_lengths",
     "diurnal_trace",
+    "group_infos",
+    "mixed_fleet_experiment",
+    "mixed_fleet_trace",
     "mixture_lengths",
     "named_scenario",
     "plan_capacity",
@@ -177,7 +218,9 @@ __all__ = [
     "replay_trace_outcomes",
     "resilience_experiment",
     "robust_minimal_fleet",
+    "router_name",
     "scenario_suite",
     "scheduler_name",
     "select_worker",
+    "small_memory_gpu",
 ]

@@ -75,6 +75,7 @@ from ..sim.sweep import SweepPoint, sweep
 from .control import AdmissionController, Autoscaler
 from .faults import FaultSchedule, RecoveryPolicy
 from .fleet import FleetSpec, MultiChipVariant, WorkerHealth
+from .routing import RouterSpec, create_router, group_infos, router_name
 from .scheduler import SchedulerSpec, create_scheduler, scheduler_name, select_worker
 from .trace import RequestTrace
 
@@ -136,6 +137,8 @@ class ClusterReport:
     utilization: Mapping[str, float] = field(default_factory=dict)
     per_priority_attainment: Mapping[int, float] = field(default_factory=dict)
     cost_per_million_requests: float = 0.0
+    #: Group-routing policy of the replay ("none" = group-oblivious dispatch).
+    router: str = "none"
     events_processed: int = 0
     retried: int = 0
     shed: int = 0
@@ -329,8 +332,9 @@ def replay_trace(
     faults: Optional[FaultSchedule] = None,
     recovery: Optional[RecoveryPolicy] = None,
     admission: Optional[AdmissionController] = None,
-    autoscaler: Optional[Autoscaler] = None,
+    autoscaler=None,
     communication_times: Optional[CommunicationTimes] = None,
+    router: RouterSpec = None,
 ) -> ClusterReport:
     """Replay ``trace`` against ``fleet`` under ``scheduler``; emit a report.
 
@@ -341,9 +345,18 @@ def replay_trace(
     service-time fraction saved when a worker serves the same length twice in
     a row (shape/table reuse — 0 models a stateless worker).
 
+    ``router`` selects a group-aware routing policy for heterogeneous fleets
+    (:mod:`repro.cluster.routing`): ``None`` keeps the group-oblivious
+    baseline (bit-identical to earlier replays), a name/instance routes each
+    request to a feasible worker group — requests whose feasible groups are
+    all busy wait instead of OOM-dropping.
+
     ``faults`` / ``recovery`` / ``admission`` / ``autoscaler`` switch on the
     closed-loop extensions (see the module docstring); all default to off,
     in which case the replay is bit-identical to the open-loop one.
+    ``autoscaler`` accepts one :class:`~repro.cluster.control.Autoscaler`
+    (applied independently to every worker group) or a sequence with one per
+    group.
     """
     report, _ = replay_trace_outcomes(
         trace,
@@ -361,6 +374,7 @@ def replay_trace(
         admission=admission,
         autoscaler=autoscaler,
         communication_times=communication_times,
+        router=router,
     )
     return report
 
@@ -379,8 +393,9 @@ def replay_trace_outcomes(
     faults: Optional[FaultSchedule] = None,
     recovery: Optional[RecoveryPolicy] = None,
     admission: Optional[AdmissionController] = None,
-    autoscaler: Optional[Autoscaler] = None,
+    autoscaler=None,
     communication_times: Optional[CommunicationTimes] = None,
+    router: RouterSpec = None,
 ) -> Tuple[ClusterReport, Tuple[RequestOutcome, ...]]:
     """:func:`replay_trace` plus the per-request :class:`RequestOutcome` log."""
     if not 0.0 <= same_length_reuse_discount < 1.0:
@@ -391,14 +406,65 @@ def replay_trace_outcomes(
         recovery = RecoveryPolicy()
     if admission is not None and admission.max_queue_depth is None:
         admission = None  # admit-everything IS the open-loop path
-    if autoscaler is not None and len(fleet.groups) != 1:
-        raise ValueError("the autoscaler requires a homogeneous fleet")
+    num_groups = len(fleet.groups)
+    # One Autoscaler applies per-group (the same reactive policy sizing each
+    # group independently); a sequence supplies one per group.  All groups
+    # share one tick chain, so intervals and attainment windows must agree.
+    autoscalers: Optional[List[Autoscaler]] = None
+    if autoscaler is not None:
+        if isinstance(autoscaler, Autoscaler):
+            autoscalers = [autoscaler] * num_groups
+        else:
+            autoscalers = list(autoscaler)
+            if len(autoscalers) != num_groups:
+                raise ValueError(
+                    f"need one autoscaler per worker group "
+                    f"({num_groups}), got {len(autoscalers)}"
+                )
+        first_scaler = autoscalers[0]
+        if any(
+            a.interval_seconds != first_scaler.interval_seconds
+            or a.attainment_window != first_scaler.attainment_window
+            for a in autoscalers
+        ):
+            raise ValueError(
+                "per-group autoscalers must share interval_seconds and "
+                "attainment_window (they ride one tick chain)"
+            )
     policy = create_scheduler(scheduler)
+    router_obj = create_router(router)
     if service_times is None:
         service_times = prefetch_service_times(
             trace, fleet, ppm_config=ppm_config, session=session,
             service=service, workers=workers,
         )
+    #: length -> router's group-preference order (None = group-oblivious).
+    pref_of: Optional[Dict[int, Tuple[int, ...]]] = None
+    if router_obj is not None:
+        infos = group_infos(fleet, service_times, trace)
+        pref_of = {
+            n: tuple(router_obj.preference(n, infos))
+            for n in trace.distinct_lengths()
+        }
+    # Per-group queue-depth signal for multi-group autoscaling: a queued
+    # request counts toward every group that could serve its length.  The
+    # single-group path keeps reading len(policy) directly (bit-compat).
+    queued_feasible: Optional[List[int]] = None
+    feasible_of: Optional[Dict[int, Tuple[int, ...]]] = None
+    if autoscalers is not None and num_groups > 1:
+        queued_feasible = [0] * num_groups
+        feasible_of = {
+            n: (
+                pref_of[n]
+                if pref_of is not None
+                else tuple(
+                    gi
+                    for gi in range(num_groups)
+                    if service_times.get((gi, n)) is not None
+                )
+            )
+            for n in trace.distinct_lengths()
+        }
     if (
         faults is not None
         and faults.degraded_links
@@ -435,9 +501,9 @@ def replay_trace_outcomes(
     #: still anything to react to" signal (ticks never count themselves,
     #: or the loop would self-sustain forever).
     pending_non_tick = counter
-    if autoscaler is not None:
+    if autoscalers is not None:
         heapq.heappush(
-            events, (autoscaler.interval_seconds, _AUTOSCALE, counter, None)
+            events, (first_scaler.interval_seconds, _AUTOSCALE, counter, None)
         )
         counter += 1
 
@@ -465,12 +531,20 @@ def replay_trace_outcomes(
     queue_depth_sum = 0
     last_time = trace.duration_seconds
     in_flight = 0
-    pending_up = 0  # requested-but-not-yet-arrived autoscaler workers
-    provisioned_done = 0.0  # worker-seconds of already-retired workers
+    pending_up = [0] * num_groups  # requested-but-not-yet-arrived, per group
+    provisioned_done = [0.0] * num_groups  # retired workers' worker-seconds
     active_count = num_workers  # provisioned (non-retired) workers right now
     peak_fleet = num_workers
     downtime_total = 0.0
-    recent_met: deque = deque(maxlen=autoscaler.attainment_window if autoscaler else 1)
+    recent_met: deque = deque(
+        maxlen=first_scaler.attainment_window if autoscalers else 1
+    )
+
+    def note_queued(request, sign: int) -> None:
+        """Maintain the per-group feasible-queue counters (multi-group only)."""
+        if queued_feasible is not None:
+            for qgi in feasible_of[request.sequence_length]:
+                queued_feasible[qgi] += sign
 
     def record_drop(request, now: float, reason: str, start: Optional[float] = None) -> None:
         nonlocal dropped, deadlines_missed, shed, oom_dropped, failed
@@ -489,7 +563,7 @@ def replay_trace_outcomes(
         )
         if request.deadline_seconds is not None:
             deadlines_missed += 1
-        if autoscaler is not None:
+        if autoscalers is not None:
             recent_met.append(0)
         outcomes.append(
             RequestOutcome(
@@ -509,25 +583,54 @@ def replay_trace_outcomes(
     def dispatch(now: float) -> None:
         nonlocal counter, in_flight, pending_non_tick
         straggling = faults.straggling_workers(now) if faults is not None else frozenset()
+        #: Popped requests whose feasible groups are all busy (routed mode):
+        #: requeued after the drain so they keep their queue position and the
+        #: scheduler can offer the *next* request to the still-idle workers.
+        deferred: List = []
         while idle and len(policy):
             request = policy.pop(now)
-            worker = select_worker(
-                idle,
-                request.sequence_length,
-                last_length,
-                same_length_reuse_discount > 0.0,
-                straggling,
-            )
-            gi = group_of[worker]
-            seconds = service_times[(gi, request.sequence_length)]
-            if seconds is None:
-                # The claimed worker's group cannot serve this length; with
-                # heterogeneous fleets a smarter router could retry another
-                # group, but the baseline replay models group-oblivious
-                # dispatch.  The worker itself stays idle.
-                insort(idle, worker)
-                record_drop(request, now, "oom")
-                continue
+            note_queued(request, -1)
+            if pref_of is not None:
+                prefs = pref_of[request.sequence_length]
+                if not prefs:
+                    # No group in the fleet can ever hold this length.
+                    record_drop(request, now, "oom")
+                    continue
+                worker = None
+                for candidate_group in prefs:
+                    tier = [w for w in idle if group_of[w] == candidate_group]
+                    if tier:
+                        worker = select_worker(
+                            tier,
+                            request.sequence_length,
+                            last_length,
+                            same_length_reuse_discount > 0.0,
+                            straggling,
+                        )
+                        idle.remove(worker)
+                        break
+                if worker is None:
+                    deferred.append(request)
+                    continue
+                gi = group_of[worker]
+                seconds = service_times[(gi, request.sequence_length)]
+            else:
+                worker = select_worker(
+                    idle,
+                    request.sequence_length,
+                    last_length,
+                    same_length_reuse_discount > 0.0,
+                    straggling,
+                )
+                gi = group_of[worker]
+                seconds = service_times[(gi, request.sequence_length)]
+                if seconds is None:
+                    # The claimed worker's group cannot serve this length;
+                    # the group-oblivious baseline drops it (pass ``router=``
+                    # to retry other groups).  The worker itself stays idle.
+                    insort(idle, worker)
+                    record_drop(request, now, "oom")
+                    continue
             if last_length[worker] == request.sequence_length:
                 seconds *= 1.0 - same_length_reuse_discount
             last_length[worker] = request.sequence_length
@@ -556,6 +659,10 @@ def replay_trace_outcomes(
             )
             counter += 1
             pending_non_tick += 1
+        # Reversed so repeated requeue-at-head restores the original order.
+        for request in reversed(deferred):
+            policy.requeue(request)
+            note_queued(request, 1)
 
     while events:
         time_now, kind, _, payload = heapq.heappop(events)
@@ -578,8 +685,10 @@ def replay_trace_outcomes(
                 record_drop(payload, time_now, "shed")
             else:
                 policy.push(payload)
+                note_queued(payload, 1)
         elif kind == _RETRY:
             policy.push(payload)  # retries bypass admission: already accepted
+            note_queued(payload, 1)
         elif kind == _COMPLETION:
             running.pop(worker, None)
             in_flight -= 1
@@ -601,7 +710,7 @@ def replay_trace_outcomes(
                 met_by_priority[request.priority] = (
                     met_by_priority.get(request.priority, 0) + 1
                 )
-            if autoscaler is not None:
+            if autoscalers is not None:
                 recent_met.append(1 if met else 0)
             outcomes.append(
                 RequestOutcome(
@@ -664,9 +773,10 @@ def replay_trace_outcomes(
                 last_length[w] = None  # restarted cold: no shape to reuse
                 insort(idle, w)
         elif kind == _SCALE_UP:
-            pending_up -= 1
+            up_group = payload if payload is not None else 0
+            pending_up[up_group] -= 1
             w = len(group_of)
-            group_of.append(0)
+            group_of.append(up_group)
             busy_seconds.append(0.0)
             last_length.append(None)
             health.append(WorkerHealth.HEALTHY)
@@ -679,37 +789,55 @@ def replay_trace_outcomes(
         elif kind == _AUTOSCALE:
             window = len(recent_met)
             attainment = sum(recent_met) / window if window else 1.0
-            alive = sum(
-                1 for h in health
-                if h in (WorkerHealth.HEALTHY, WorkerHealth.WARMING)
-            )
-            delta = autoscaler.desired_delta(
-                len(policy), alive, pending_up, attainment
-            )
-            if delta > 0:
-                arrive = time_now + autoscaler.scale_up_lag_seconds
-                for _ in range(delta):
-                    heapq.heappush(events, (arrive, _SCALE_UP, counter, None))
-                    counter += 1
-                    pending_non_tick += 1
-                    pending_up += 1
-            elif delta < 0:
-                # Retire idle healthy workers only, highest id first — never
-                # a busy, warming, or dead one (a dead worker may still owe
-                # a restart; retiring it would double-account its lifetime).
-                retirable = [
-                    w for w in reversed(idle)
-                    if health[w] is WorkerHealth.HEALTHY
-                ][:-delta]
-                for w in retirable:
-                    idle.remove(w)
-                    health[w] = WorkerHealth.RETIRED
-                    provisioned_done += time_now - provision_start[w]
-                    active_count -= 1
+            for gi_scale, scaler in enumerate(autoscalers):
+                if num_groups == 1:
+                    # The homogeneous signals of PR 6, bit-for-bit: whole
+                    # queue, whole fleet.
+                    depth_signal = len(policy)
+                    alive = sum(
+                        1 for h in health
+                        if h in (WorkerHealth.HEALTHY, WorkerHealth.WARMING)
+                    )
+                else:
+                    depth_signal = queued_feasible[gi_scale]
+                    alive = sum(
+                        1 for w, h in enumerate(health)
+                        if group_of[w] == gi_scale
+                        and h in (WorkerHealth.HEALTHY, WorkerHealth.WARMING)
+                    )
+                delta = scaler.desired_delta(
+                    depth_signal, alive, pending_up[gi_scale], attainment
+                )
+                if delta > 0:
+                    arrive = time_now + scaler.scale_up_lag_seconds
+                    for _ in range(delta):
+                        heapq.heappush(
+                            events, (arrive, _SCALE_UP, counter, gi_scale)
+                        )
+                        counter += 1
+                        pending_non_tick += 1
+                        pending_up[gi_scale] += 1
+                elif delta < 0:
+                    # Retire idle healthy workers only, highest id first —
+                    # never a busy, warming, or dead one (a dead worker may
+                    # still owe a restart; retiring it would double-account
+                    # its lifetime).
+                    retirable = [
+                        w for w in reversed(idle)
+                        if health[w] is WorkerHealth.HEALTHY
+                        and group_of[w] == gi_scale
+                    ][:-delta]
+                    for w in retirable:
+                        idle.remove(w)
+                        health[w] = WorkerHealth.RETIRED
+                        provisioned_done[gi_scale] += (
+                            time_now - provision_start[w]
+                        )
+                        active_count -= 1
             if pending_non_tick > 0 or len(policy) > 0 or in_flight > 0:
                 heapq.heappush(
                     events,
-                    (time_now + autoscaler.interval_seconds,
+                    (time_now + first_scaler.interval_seconds,
                      _AUTOSCALE, counter, None),
                 )
                 counter += 1
@@ -719,18 +847,28 @@ def replay_trace_outcomes(
         queue_depth_sum += depth
 
     makespan = last_time
-    # Requests still queued were starved: every remaining worker is dead
-    # with no restart coming (or retired), so nothing will ever serve them.
+    # Requests still queued were starved: every worker (routed mode: every
+    # worker of their feasible groups) is dead with no restart coming, or
+    # retired, so nothing will ever serve them.
     while len(policy):
         request = policy.pop(makespan)
         record_drop(request, makespan, "starved")
     for w, since in down_since.items():
         downtime_total += max(0.0, makespan - since)
     total_workers = len(group_of)
-    provisioned_total = provisioned_done + sum(
-        max(0.0, makespan - provision_start[w])
-        for w in range(total_workers)
-        if health[w] is not WorkerHealth.RETIRED
+    provisioned_by_group = [
+        provisioned_done[g]
+        + sum(
+            max(0.0, makespan - provision_start[w])
+            for w in range(total_workers)
+            if group_of[w] == g and health[w] is not WorkerHealth.RETIRED
+        )
+        for g in range(num_groups)
+    ]
+    provisioned_total = (
+        provisioned_by_group[0]
+        if num_groups == 1
+        else sum(provisioned_by_group)
     )
 
     requests = len(trace)
@@ -738,13 +876,13 @@ def replay_trace_outcomes(
     for index, label in enumerate(labels):
         members = [w for w, g in enumerate(group_of) if g == index]
         busy = sum(busy_seconds[w] for w in members)
-        if autoscaler is None:
+        if autoscalers is None:
             capacity = len(members) * makespan
         else:
-            capacity = provisioned_total  # homogeneous: one group owns it all
+            capacity = provisioned_by_group[index]
         utilization[label] = busy / capacity if capacity > 0 else 0.0
 
-    if autoscaler is None:
+    if autoscalers is None:
         cost = (
             fleet.cost_per_hour * (makespan / 3600.0) / completed * 1e6
             if completed
@@ -753,12 +891,13 @@ def replay_trace_outcomes(
         worker_hours = num_workers * makespan / 3600.0
         mean_fleet = float(num_workers)
     else:
-        per_worker_rate = fleet.groups[0].hourly_cost / fleet.groups[0].count
-        cost = (
-            per_worker_rate * (provisioned_total / 3600.0) / completed * 1e6
-            if completed
-            else 0.0
+        # Worker-hours priced per group at that group's per-worker rate; one
+        # group reduces to exactly the homogeneous expression of PR 6.
+        provisioned_dollars = sum(
+            (group.hourly_cost / group.count) * (provisioned_by_group[g] / 3600.0)
+            for g, group in enumerate(fleet.groups)
         )
+        cost = provisioned_dollars / completed * 1e6 if completed else 0.0
         worker_hours = provisioned_total / 3600.0
         mean_fleet = provisioned_total / makespan if makespan > 0 else float(num_workers)
 
@@ -789,6 +928,7 @@ def replay_trace_outcomes(
             for priority, total in sorted(total_by_priority.items())
         },
         cost_per_million_requests=cost,
+        router=router_name(router),
         events_processed=events_processed,
         retried=retried,
         shed=shed,

@@ -1,4 +1,4 @@
-"""Capacity planning: the smallest fleet (and policy) that meets an SLO.
+"""Capacity planning: the smallest (or cheapest) fleet that meets an SLO.
 
 :func:`plan_capacity` sweeps fleet sizes x scheduling policies over one
 trace and returns a :class:`CapacityPlan` answering the operator questions:
@@ -10,12 +10,22 @@ trace and returns a :class:`CapacityPlan` answering the operator questions:
 * the **cheapest plan** overall (a better policy often meets the SLO with
   fewer, or cheaper, workers — that delta is the point of the subsystem).
 
+:func:`compare_fleets` prices *arbitrary* fleets — mixed ones included —
+against each other on one trace: a couple of big-memory nodes backstopping
+a sea of cheap small-memory ones (dispatched through a
+:mod:`repro.cluster.routing` policy) versus the homogeneous alternatives.
+The answer is the mixed-fleet claim in dollars: which fleet meets the SLO
+at the lowest cost per million requests.
+
 The expensive stage — simulating every distinct (backend, length) pair — is
 shared across the whole grid: one :func:`~repro.cluster.des.prefetch_service_times`
 call (sharded across :func:`repro.sim.sweep.sweep`'s process pool with
 ``workers > 1``) feeds every replay, because fleet size and policy change
-queueing, never per-request service time.  Replays themselves are pure
-Python and deterministic, so a plan is exactly reproducible.
+queueing, never per-request service time.  ``compare_fleets`` extends the
+sharing across fleets: backend specs are deduplicated by content digest, so
+a backend appearing in five candidate fleets is simulated once.  Replays
+themselves are pure Python and deterministic, so a plan is exactly
+reproducible.
 """
 
 from __future__ import annotations
@@ -25,8 +35,9 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from ..ppm.config import PPMConfig
 from ..sim.session import SimulationSession
-from .des import ClusterReport, prefetch_service_times, replay_trace
-from .fleet import FleetSpec
+from .des import ClusterReport, ServiceTimes, prefetch_service_times, replay_trace
+from .fleet import FleetSpec, WorkerGroup, _spec_digest
+from .routing import RouterSpec
 from .scheduler import SchedulerSpec, scheduler_name
 from .trace import RequestTrace
 
@@ -114,6 +125,7 @@ def plan_capacity(
     dispatch_overhead_seconds: float = 0.0,
     same_length_reuse_discount: float = 0.0,
     length_bucket_size: Optional[int] = None,
+    router: RouterSpec = None,
 ) -> CapacityPlan:
     """Sweep ``fleet_sizes`` x ``policies`` over ``trace``; rank against the SLO.
 
@@ -162,11 +174,157 @@ def plan_capacity(
                 service_times=times,
                 dispatch_overhead_seconds=dispatch_overhead_seconds,
                 same_length_reuse_discount=same_length_reuse_discount,
+                router=router,
             )
             points.append(
                 PlanPoint(fleet=fleet, policy=scheduler_name(policy), report=report)
             )
     return CapacityPlan(
+        trace_name=trace.name, slo_target=slo_target, points=tuple(points)
+    )
+
+
+@dataclass(frozen=True)
+class FleetComparison:
+    """Outcome of one :func:`compare_fleets` sweep across candidate fleets."""
+
+    trace_name: str
+    slo_target: float
+    points: Tuple[PlanPoint, ...]
+
+    def for_fleet(self, name: str) -> List[PlanPoint]:
+        return [p for p in self.points if p.fleet.name == name]
+
+    def fleet_names(self) -> List[str]:
+        return list(dict.fromkeys(p.fleet.name for p in self.points))
+
+    def meeting(self) -> List[PlanPoint]:
+        """Every (fleet, policy) cell whose attainment reaches the target."""
+        return [
+            p for p in self.points if p.report.slo_attainment >= self.slo_target
+        ]
+
+    def cheapest_plan(self) -> Optional[PlanPoint]:
+        """Lowest cost-per-million cell meeting the SLO target."""
+        candidates = self.meeting()
+        if not candidates:
+            return None
+        return min(candidates, key=lambda p: p.report.cost_per_million_requests)
+
+    def cheapest_per_fleet(self) -> Dict[str, Optional[PlanPoint]]:
+        """Each fleet's cheapest SLO-meeting cell (None = never meets it)."""
+        result: Dict[str, Optional[PlanPoint]] = {}
+        for name in self.fleet_names():
+            meeting = [
+                p
+                for p in self.for_fleet(name)
+                if p.report.slo_attainment >= self.slo_target
+            ]
+            result[name] = (
+                min(meeting, key=lambda p: p.report.cost_per_million_requests)
+                if meeting
+                else None
+            )
+        return result
+
+    def summary_lines(self) -> Tuple[str, ...]:
+        lines = []
+        for name, point in self.cheapest_per_fleet().items():
+            if point is None:
+                lines.append(f"{name}: never meets {self.slo_target:.0%} SLO")
+            else:
+                lines.append(
+                    f"{name}: ${point.report.cost_per_million_requests:.2f}/M"
+                    f" at {point.report.slo_attainment:.4f} SLO"
+                    f" ({point.policy}, router={point.report.router})"
+                )
+        return tuple(lines)
+
+
+def compare_fleets(
+    trace: RequestTrace,
+    fleets: Sequence[FleetSpec],
+    policies: Sequence[SchedulerSpec] = ("edf",),
+    slo_target: float = 0.95,
+    router: RouterSpec = None,
+    ppm_config: Optional[PPMConfig] = None,
+    session: Optional[SimulationSession] = None,
+    service: Optional["LatencyService"] = None,
+    workers: Optional[int] = None,
+    dispatch_overhead_seconds: float = 0.0,
+    same_length_reuse_discount: float = 0.0,
+    length_bucket_size: Optional[int] = None,
+) -> FleetComparison:
+    """Price arbitrary (mixed included) fleets against one trace and SLO.
+
+    The mixed-fleet sibling of :func:`plan_capacity`: instead of rescaling
+    one homogeneous group, every candidate :class:`~repro.cluster.fleet.FleetSpec`
+    replays as-is — heterogeneous groups, per-group costs and all — under
+    every policy, with ``router`` applied to each replay (pass e.g.
+    ``"cost-greedy"`` so a mixed fleet actually exploits its cheap groups;
+    ``None`` replays the group-oblivious baseline).
+
+    Backend specs are deduplicated across fleets by content digest, so the
+    prefetch simulates each distinct backend once no matter how many
+    candidate fleets share it.
+    """
+    if not 0.0 < slo_target <= 1.0:
+        raise ValueError("slo_target must be in (0, 1]")
+    if not fleets:
+        raise ValueError("compare_fleets needs at least one candidate fleet")
+    # One prefetch prices each distinct backend spec once; per-fleet tables
+    # are then re-keyed views of it.
+    distinct: Dict[str, object] = {}
+    for fleet in fleets:
+        for group in fleet.groups:
+            distinct.setdefault(_spec_digest(group.backend), group.backend)
+    digests = list(distinct)
+    synthetic = FleetSpec(
+        groups=tuple(
+            WorkerGroup(backend=distinct[d], count=1) for d in digests
+        ),
+        name="compare-fleets-prefetch",
+    )
+    shared = prefetch_service_times(
+        trace,
+        synthetic,
+        ppm_config=ppm_config,
+        session=session,
+        service=service,
+        workers=workers,
+        length_bucket_size=length_bucket_size,
+    )
+    source_index = {d: i for i, d in enumerate(digests)}
+    lengths = trace.distinct_lengths()
+    points: List[PlanPoint] = []
+    for fleet in fleets:
+        times: ServiceTimes = {}
+        for gi, group in enumerate(fleet.groups):
+            src = source_index[_spec_digest(group.backend)]
+            for n in lengths:
+                times[(gi, n)] = shared[(src, n)]
+        for policy in policies:
+            fresh = getattr(policy, "fresh", None)
+            cell_policy = (
+                fresh()
+                if callable(fresh) and not isinstance(policy, type)
+                else policy
+            )
+            report = replay_trace(
+                trace,
+                fleet,
+                scheduler=cell_policy,
+                service_times=times,
+                dispatch_overhead_seconds=dispatch_overhead_seconds,
+                same_length_reuse_discount=same_length_reuse_discount,
+                router=router,
+            )
+            points.append(
+                PlanPoint(
+                    fleet=fleet, policy=scheduler_name(policy), report=report
+                )
+            )
+    return FleetComparison(
         trace_name=trace.name, slo_target=slo_target, points=tuple(points)
     )
 

@@ -1,0 +1,188 @@
+"""Group-aware routing policies for heterogeneous fleets.
+
+A *scheduler* (:mod:`repro.cluster.scheduler`) decides **which request**
+dispatches next; a *router* decides **which worker group** may serve it.
+The baseline replay is group-oblivious: the popped request claims the
+lowest-id idle worker, and if that worker's group cannot hold the length
+(out of memory) the request is dropped.  On a mixed fleet — big-memory
+nodes for long sequences, cheap nodes for short ones — that baseline
+squanders exactly the heterogeneity the fleet was bought for, so
+:func:`repro.cluster.des.replay_trace` accepts a ``router=``:
+
+* :class:`MemoryFitRouter` — any group whose backend fits the length
+  (per the OOM model baked into the prefetched service times), in fleet
+  order.  The minimal correctness router: nothing OOM-drops that some
+  group could have served.
+* :class:`CostGreedyRouter` — feasible groups, cheapest per-worker rate
+  first, *with spill*: when every worker of a cheaper group is busy, the
+  request runs on the next-cheapest idle group rather than waiting — the
+  work-conserving discipline that lets two big nodes backstop a sea of
+  cheap ones.
+* :class:`LengthThresholdRouter` — requests at or above
+  ``threshold_residues`` prefer the biggest-memory groups (keeping the
+  big nodes' queue slots for the traffic only they can serve), shorter
+  requests prefer the smallest-memory (cheapest-capacity) groups; both
+  spill to the remaining feasible groups when their preference is busy.
+
+A router maps a request's length to a *preference order* over feasible
+group indices — pure, deterministic functions of the
+:class:`GroupInfo` table the replay derives from its prefetched service
+times, so routed replays keep the repo's bit-reproducibility bar.  A
+request whose preference list is empty (no group can serve the length at
+all) still OOM-drops; a request whose feasible groups are all busy stays
+queued instead of dropping — the replay defers it and retries on the next
+event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Type, Union
+
+from .fleet import FleetSpec
+from .trace import RequestTrace
+
+
+@dataclass(frozen=True)
+class GroupInfo:
+    """What a router may know about one worker group.
+
+    Derived by :func:`group_infos` from the fleet spec and the prefetched
+    service times — ``feasible_lengths`` holds exactly the trace lengths the
+    group's backend serves without OOM, and ``max_feasible_length`` is their
+    max (0 when the group serves nothing), the "memory size" proxy routers
+    rank by.
+    """
+
+    index: int
+    label: str
+    per_worker_cost: float
+    feasible_lengths: frozenset
+    max_feasible_length: int
+
+    def fits(self, length: int) -> bool:
+        return length in self.feasible_lengths
+
+
+def group_infos(
+    fleet: FleetSpec,
+    service_times: Mapping[Tuple[int, int], Optional[float]],
+    trace: RequestTrace,
+) -> Tuple[GroupInfo, ...]:
+    """The per-group routing table for one (fleet, trace) replay."""
+    labels = fleet.group_labels()
+    lengths = trace.distinct_lengths()
+    infos = []
+    for gi, group in enumerate(fleet.groups):
+        feasible = frozenset(
+            n for n in lengths if service_times.get((gi, n)) is not None
+        )
+        infos.append(
+            GroupInfo(
+                index=gi,
+                label=labels[gi],
+                per_worker_cost=group.hourly_cost / group.count,
+                feasible_lengths=feasible,
+                max_feasible_length=max(feasible) if feasible else 0,
+            )
+        )
+    return tuple(infos)
+
+
+class MemoryFitRouter:
+    """Feasible groups in fleet order — route around OOM, nothing more."""
+
+    name = "memory-fit"
+
+    def preference(
+        self, length: int, groups: Sequence[GroupInfo]
+    ) -> Tuple[int, ...]:
+        return tuple(g.index for g in groups if g.fits(length))
+
+
+class CostGreedyRouter:
+    """Cheapest feasible group first, spilling to pricier groups when busy."""
+
+    name = "cost-greedy"
+
+    def preference(
+        self, length: int, groups: Sequence[GroupInfo]
+    ) -> Tuple[int, ...]:
+        feasible = [g for g in groups if g.fits(length)]
+        feasible.sort(key=lambda g: (g.per_worker_cost, g.index))
+        return tuple(g.index for g in feasible)
+
+
+@dataclass(frozen=True)
+class LengthThresholdRouter:
+    """Reserve big-memory groups for long requests; spill both ways when busy.
+
+    Requests of ``threshold_residues`` or more prefer groups by descending
+    memory headroom (``max_feasible_length``); shorter requests prefer
+    ascending — the small/cheap groups absorb the short tail so the big
+    nodes' capacity is standing free when a long protein arrives.  Every
+    feasible group stays in the preference list, so neither class ever
+    waits while some feasible worker idles.
+    """
+
+    threshold_residues: int = 512
+
+    name = "length-threshold"
+
+    def __post_init__(self) -> None:
+        if int(self.threshold_residues) < 1:
+            raise ValueError("threshold_residues must be >= 1")
+
+    def preference(
+        self, length: int, groups: Sequence[GroupInfo]
+    ) -> Tuple[int, ...]:
+        feasible = [g for g in groups if g.fits(length)]
+        if length >= self.threshold_residues:
+            feasible.sort(key=lambda g: (-g.max_feasible_length, g.index))
+        else:
+            feasible.sort(key=lambda g: (g.max_feasible_length, g.index))
+        return tuple(g.index for g in feasible)
+
+
+#: Registry of router names accepted everywhere a router spec is taken.
+ROUTERS: Dict[str, Type] = {
+    "memory-fit": MemoryFitRouter,
+    "cost-greedy": CostGreedyRouter,
+    "length-threshold": LengthThresholdRouter,
+}
+
+RouterSpec = Union[str, object, Type, None]
+
+
+def create_router(spec: RouterSpec):
+    """Resolve a router spec: a registry name, a class, an instance, or None."""
+    if spec is None:
+        return None
+    if isinstance(spec, str):
+        try:
+            return ROUTERS[spec.lower()]()
+        except KeyError:
+            raise ValueError(
+                f"unknown router {spec!r}; expected one of {sorted(ROUTERS)}"
+            ) from None
+    if isinstance(spec, type):
+        return spec()
+    if callable(getattr(spec, "preference", None)):
+        return spec
+    raise TypeError(f"cannot build a router from {type(spec).__name__!r}")
+
+
+def router_name(spec: RouterSpec) -> str:
+    """Display name of a router spec without instantiating twice."""
+    if spec is None:
+        return "none"
+    if isinstance(spec, str):
+        return spec.lower()
+    name = getattr(spec, "name", None)
+    if isinstance(name, str) and name:
+        return name
+    return (
+        spec.__name__.lower()
+        if isinstance(spec, type)
+        else type(spec).__name__.lower()
+    )

@@ -29,10 +29,11 @@ number, not an adjective.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dataclass_replace
 from typing import Optional, Sequence, Tuple, TYPE_CHECKING
 
 from .._digest import stable_digest
+from ..gpu.gpu_config import GPUS, GPUSpec
 from ..ppm.config import PPMConfig
 from ..sim.session import SimulationSession
 from .control import AdmissionController, Autoscaler
@@ -44,10 +45,17 @@ from .des import (
     replay_trace_outcomes,
 )
 from .faults import NO_FAULTS, FaultSchedule, RecoveryPolicy
-from .fleet import FleetSpec, MultiChipVariant
-from .planner import plan_capacity
+from .fleet import FleetSpec, MultiChipVariant, WorkerGroup
+from .planner import FleetComparison, PlanPoint, compare_fleets, plan_capacity
+from .routing import RouterSpec
 from .scheduler import SchedulerSpec
-from .trace import RequestTrace, SLOPolicy, diurnal_trace, mixture_lengths
+from .trace import (
+    RequestTrace,
+    SLOPolicy,
+    bursty_trace,
+    diurnal_trace,
+    mixture_lengths,
+)
 
 if TYPE_CHECKING:  # optional routing, kept import-cycle free
     from ..serving.service import LatencyService
@@ -74,6 +82,7 @@ class ClusterScenario:
         service_times: Optional[ServiceTimes] = None,
         dispatch_overhead_seconds: float = 0.0,
         same_length_reuse_discount: float = 0.0,
+        router: RouterSpec = None,
     ) -> ClusterReport:
         report, _ = self.replay_outcomes(
             fleet,
@@ -84,6 +93,7 @@ class ClusterScenario:
             service_times=service_times,
             dispatch_overhead_seconds=dispatch_overhead_seconds,
             same_length_reuse_discount=same_length_reuse_discount,
+            router=router,
         )
         return report
 
@@ -97,6 +107,7 @@ class ClusterScenario:
         service_times: Optional[ServiceTimes] = None,
         dispatch_overhead_seconds: float = 0.0,
         same_length_reuse_discount: float = 0.0,
+        router: RouterSpec = None,
     ) -> Tuple[ClusterReport, Tuple[RequestOutcome, ...]]:
         return replay_trace_outcomes(
             self.trace,
@@ -112,6 +123,7 @@ class ClusterScenario:
             recovery=self.recovery,
             admission=self.admission,
             autoscaler=self.autoscaler,
+            router=router,
         )
 
     def config_digest(self) -> str:
@@ -416,4 +428,188 @@ def resilience_experiment(
         healthy=healthy,
         faulty_fixed=faulty_fixed,
         faulty_controlled=faulty_controlled,
+    )
+
+
+# ------------------------------------------------- mixed-fleet measurement
+#: Long-tail traffic of the mixed-fleet experiment: mostly short proteins, a
+#: 6% tail of 512-residue ones — the length the small-memory node cannot
+#: hold.  Deadlines are per-token with enough headroom that a 512 served
+#: promptly on a big node meets its SLO, but an OOM-drop never does.
+MIXED_FLEET_MIX = ((32, 0.55), (96, 0.27), (160, 0.12), (512, 0.06))
+MIXED_FLEET_SLO = SLOPolicy(base_seconds=0.1, per_residue_seconds=6.0e-3)
+
+
+def small_memory_gpu(memory_gb: float = 8.0) -> GPUSpec:
+    """The "cheap node" of the mixed-fleet experiment: an A100 cut to 8 GB.
+
+    Same compute and bandwidth, a fraction of the memory — so it serves the
+    short-protein traffic at full speed and OOMs on the 512-residue tail
+    (the tiny-config peak memory crosses 8 GB between n=384 and n=512).
+    Priced below the big nodes via an explicit per-group rate; the point of
+    the experiment is that memory, not FLOPs, is what the big nodes charge
+    for.
+    """
+    return dataclass_replace(GPUS["A100"], name=f"a100-{memory_gb:g}g", memory_gb=memory_gb)
+
+
+def mixed_fleet_trace(
+    seed: int = 11,
+    rate_rps: float = 15.0,
+    num_requests: int = 360,
+) -> RequestTrace:
+    """The pinned long-tail bursty traffic the mixed-fleet golden replays."""
+    pool, weights = mixture_lengths(MIXED_FLEET_MIX)
+    return bursty_trace(
+        rate_rps=rate_rps,
+        num_requests=num_requests,
+        length_pool=pool,
+        length_weights=weights,
+        slo=MIXED_FLEET_SLO,
+        seed=seed,
+        name="long-tail",
+    )
+
+
+def mixed_fleet_candidates(
+    big_spec="h100-chunk",
+    cheap_cost_per_hour: float = 2.05,
+    big_counts: Sequence[int] = (2, 3),
+    cheap_counts: Sequence[int] = (2, 3),
+    homogeneous_sizes: Sequence[int] = (6, 7, 8),
+) -> Tuple[FleetSpec, ...]:
+    """The candidate fleets the experiment prices against each other.
+
+    Mixed fleets pair ``big_counts`` big-memory workers with
+    ``cheap_counts`` small-memory ones; homogeneous fleets are the big node
+    alone at ``homogeneous_sizes`` and the cheap node alone (which can never
+    meet a high SLO — the 512 tail OOMs — priced to prove it, not to win).
+    """
+    cheap = small_memory_gpu()
+    fleets = []
+    for big in big_counts:
+        for small in cheap_counts:
+            fleets.append(
+                FleetSpec(
+                    groups=(
+                        WorkerGroup(backend=big_spec, count=big),
+                        WorkerGroup(
+                            backend=cheap,
+                            count=small,
+                            cost_per_hour=cheap_cost_per_hour,
+                        ),
+                    ),
+                    name=f"mixed-{big}big-{small}small",
+                )
+            )
+    for size in homogeneous_sizes:
+        fleets.append(FleetSpec.homogeneous(big_spec, size))
+    fleets.append(
+        FleetSpec(
+            groups=(
+                WorkerGroup(
+                    backend=cheap,
+                    count=max(homogeneous_sizes),
+                    cost_per_hour=cheap_cost_per_hour,
+                ),
+            ),
+            name=f"{cheap.name.lower()}x{max(homogeneous_sizes)}",
+        )
+    )
+    return tuple(fleets)
+
+
+@dataclass(frozen=True)
+class MixedFleetSummary:
+    """Outcome of :func:`mixed_fleet_experiment` — heterogeneity in dollars.
+
+    ``best_mixed`` / ``best_homogeneous`` are each side's cheapest
+    SLO-meeting cell (``None`` when that side never meets the target); the
+    claim of this layer is :attr:`mixed_wins` — a mixed fleet meets the SLO
+    at strictly lower cost per million requests than the best homogeneous
+    fleet.
+    """
+
+    slo_target: float
+    comparison: FleetComparison
+    best_mixed: Optional[PlanPoint]
+    best_homogeneous: Optional[PlanPoint]
+
+    @property
+    def mixed_wins(self) -> bool:
+        if self.best_mixed is None:
+            return False
+        if self.best_homogeneous is None:
+            return True
+        return (
+            self.best_mixed.report.cost_per_million_requests
+            < self.best_homogeneous.report.cost_per_million_requests
+        )
+
+    def summary_lines(self) -> Tuple[str, ...]:
+        def fmt(tag: str, point: Optional[PlanPoint]) -> str:
+            if point is None:
+                return f"{tag}: no fleet meets {self.slo_target:.0%}"
+            return (
+                f"{tag}: {point.fleet.name}"
+                f" ${point.report.cost_per_million_requests:.2f}/M"
+                f" slo={point.report.slo_attainment:.4f}"
+                f" ({point.fleet.cost_per_hour:.2f} $/h)"
+            )
+
+        return (
+            fmt("mixed      ", self.best_mixed),
+            fmt("homogeneous", self.best_homogeneous),
+        )
+
+
+def mixed_fleet_experiment(
+    ppm_config: Optional[PPMConfig] = None,
+    session: Optional[SimulationSession] = None,
+    service: Optional["LatencyService"] = None,
+    slo_target: float = 0.95,
+    scheduler: SchedulerSpec = "edf",
+    router: RouterSpec = "cost-greedy",
+    seed: int = 11,
+    workers: Optional[int] = None,
+) -> MixedFleetSummary:
+    """Price mixed fleets against homogeneous ones on long-tail traffic.
+
+    The headline heterogeneity measurement: a 6% tail of 512-residue
+    requests OOMs on the cheap small-memory node, so an all-cheap fleet can
+    never reach a 95% SLO; an all-big fleet meets it but pays big-node
+    rates for traffic that is 94% short.  A mixed fleet — two big-memory
+    workers backstopping a couple of cheap ones, dispatched through the
+    ``router`` (cost-greedy with spill by default) — meets the same SLO at
+    strictly lower $/M: the big nodes serve only what only they can serve.
+    """
+    trace = mixed_fleet_trace(seed=seed)
+    comparison = compare_fleets(
+        trace,
+        mixed_fleet_candidates(),
+        policies=(scheduler,),
+        slo_target=slo_target,
+        router=router,
+        ppm_config=ppm_config,
+        session=session,
+        service=service,
+        workers=workers,
+    )
+    by_side: dict = {"mixed": [], "homogeneous": []}
+    for point in comparison.meeting():
+        side = "mixed" if len(point.fleet.groups) > 1 else "homogeneous"
+        by_side[side].append(point)
+    pick = lambda side: (
+        min(
+            by_side[side],
+            key=lambda p: p.report.cost_per_million_requests,
+        )
+        if by_side[side]
+        else None
+    )
+    return MixedFleetSummary(
+        slo_target=slo_target,
+        comparison=comparison,
+        best_mixed=pick("mixed"),
+        best_homogeneous=pick("homogeneous"),
     )

@@ -48,6 +48,17 @@ class Scheduler(Protocol):
         """Next request to dispatch at time ``now`` (``None`` when empty)."""
         ...
 
+    def requeue(self, request: Request) -> None:
+        """Return a popped-but-undispatchable request without losing its turn.
+
+        Routed replays pop a request, discover every feasible worker group
+        is busy, and put it back; the request must keep (at least) its old
+        position so deferral never reorders requests the policy considered
+        equal.  Heap policies re-push (the key is stable); FIFO-shaped
+        policies put it back at the head.
+        """
+        ...
+
     def fresh(self) -> "Scheduler":
         """An empty scheduler with the same policy configuration.
 
@@ -75,6 +86,9 @@ class FIFOScheduler:
     def pop(self, now: float) -> Optional[Request]:
         return self._queue.popleft() if self._queue else None
 
+    def requeue(self, request: Request) -> None:
+        self._queue.appendleft(request)
+
     def fresh(self) -> "FIFOScheduler":
         return FIFOScheduler()
 
@@ -95,6 +109,9 @@ class SJFScheduler:
 
     def pop(self, now: float) -> Optional[Request]:
         return heapq.heappop(self._heap)[2] if self._heap else None
+
+    def requeue(self, request: Request) -> None:
+        self.push(request)  # the heap key is stable, so position is restored
 
     def fresh(self) -> "SJFScheduler":
         return SJFScheduler()
@@ -140,6 +157,11 @@ class BucketedScheduler:
     def push(self, request: Request) -> None:
         edge = self.bucket_of(request.sequence_length)
         self._buckets.setdefault(edge, deque()).append(request)
+        self._size += 1
+
+    def requeue(self, request: Request) -> None:
+        edge = self.bucket_of(request.sequence_length)
+        self._buckets.setdefault(edge, deque()).appendleft(request)
         self._size += 1
 
     def _head_key(self, edge: int) -> Tuple[int, float, int]:
@@ -194,6 +216,9 @@ class EDFScheduler:
 
     def pop(self, now: float) -> Optional[Request]:
         return heapq.heappop(self._heap)[1] if self._heap else None
+
+    def requeue(self, request: Request) -> None:
+        self.push(request)  # the heap key is stable, so position is restored
 
     def fresh(self) -> "EDFScheduler":
         return EDFScheduler()

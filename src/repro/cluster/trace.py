@@ -130,8 +130,88 @@ class RequestTrace:
 
     @property
     def duration_seconds(self) -> float:
-        """Span from time zero to the last arrival."""
-        return self.requests[-1].arrival_seconds if self.requests else 0.0
+        """Span from time zero to the latest arrival.
+
+        Takes the max rather than trusting ``requests[-1]``: traces imported
+        from serving logs (fulfillment order) or merged from several sources
+        are not necessarily sorted by arrival.
+        """
+        if not self.requests:
+            return 0.0
+        return max(r.arrival_seconds for r in self.requests)
+
+    @classmethod
+    def from_serving_log(
+        cls,
+        records: Sequence,
+        name: str = "serving-log",
+        include_errors: bool = False,
+        rebase_arrivals: bool = True,
+    ) -> "RequestTrace":
+        """Build a replayable trace from a ``LatencyService`` request log.
+
+        ``records`` is any sequence of
+        :class:`repro.serving.api.RequestLogRecord`-shaped objects (duck
+        typed, so deserialized dicts-turned-namespaces work too).  The log is
+        in *fulfillment* order with arrivals relative to service start and
+        deadlines relative to submission; this converts to the trace
+        convention — sorted by arrival (ties broken by ticket id), ids
+        renumbered 0..n-1, deadlines made absolute
+        (``arrival + relative deadline``).  ``rebase_arrivals`` shifts the
+        first arrival to t=0 so a replay does not spend idle simulated time
+        waiting out the service's warm-up gap; the shift preserves every
+        inter-arrival gap and relative deadline.
+
+        Error-outcome requests are dropped by default (they never executed a
+        real simulation, so replaying them would model traffic that the
+        service rejected); pass ``include_errors=True`` to keep them.
+
+        The result is a plain deterministic :class:`RequestTrace`: building
+        it twice from the same log — in the same process or another — yields
+        identical ``config_digest()`` values, so replay results are cacheable
+        and comparable across runs.
+        """
+        kept = [
+            r
+            for r in records
+            if include_errors or getattr(r, "outcome", "ok") == "ok"
+        ]
+        ordered = sorted(
+            kept, key=lambda r: (float(r.arrival_seconds), int(r.ticket_id))
+        )
+        base = float(ordered[0].arrival_seconds) if (ordered and rebase_arrivals) else 0.0
+        requests = []
+        for i, record in enumerate(ordered):
+            arrival = float(record.arrival_seconds) - base
+            relative_deadline = record.deadline_seconds
+            requests.append(
+                Request(
+                    id=i,
+                    arrival_seconds=arrival,
+                    sequence_length=int(record.sequence_length),
+                    priority=int(record.priority),
+                    deadline_seconds=(
+                        None
+                        if relative_deadline is None
+                        else arrival + float(relative_deadline)
+                    ),
+                )
+            )
+        trace = cls(
+            name=name,
+            requests=tuple(requests),
+            seed=0,
+            offered_rps=0.0,
+        )
+        duration = trace.duration_seconds
+        if duration > 0:
+            trace = cls(
+                name=name,
+                requests=trace.requests,
+                seed=0,
+                offered_rps=len(requests) / duration,
+            )
+        return trace
 
     def config_digest(self) -> str:
         """Stable content hash (cache key for replay/planner results)."""

@@ -38,6 +38,7 @@ from .api import (
     LatencyRequest,
     LatencyResponse,
     LatencyServiceError,
+    RequestLogRecord,
     dispatch_order_key,
     length_bucket,
 )
@@ -51,6 +52,7 @@ __all__ = [
     "LatencyResponse",
     "LatencyService",
     "LatencyServiceError",
+    "RequestLogRecord",
     "ServiceStats",
     "dispatch_order_key",
     "length_bucket",

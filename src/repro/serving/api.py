@@ -129,6 +129,37 @@ class LatencyResponse:
 
 
 @dataclass(frozen=True)
+class RequestLogRecord:
+    """One fulfilled request, as the service's structured request log sees it.
+
+    This is the *shared traffic format* between the serving and cluster
+    layers: every field a :class:`~repro.cluster.trace.Request` needs is
+    here, in serving-layer time — ``arrival_seconds`` is relative to service
+    start and ``deadline_seconds`` is the request's *relative* deadline
+    (seconds from submission, as the client stated it), so
+    ``RequestTrace.from_serving_log`` can rebuild the absolute-deadline
+    trace convention exactly.  ``outcome`` is ``"ok"`` or ``"error"``;
+    ``queue_seconds``/``service_seconds`` record what the live service
+    actually delivered, for comparing a replay against reality.
+    """
+
+    ticket_id: int
+    backend: str
+    sequence_length: int
+    priority: int
+    deadline_seconds: Optional[float]
+    arrival_seconds: float
+    outcome: str
+    coalesced: bool = False
+    queue_seconds: float = 0.0
+    service_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome == "ok"
+
+
+@dataclass(frozen=True)
 class BackendServiceStats:
     """Per-backend service-latency summary (seconds, submit-to-fulfillment)."""
 
@@ -149,9 +180,13 @@ class CapacityReport:
 
     Resilience counters: ``timed_out`` counts :meth:`~repro.serving.service.LatencyService.result`
     calls that gave up waiting (the ticket itself stays claimable — a later
-    ``result``/``poll`` may still consume it); ``pool_rebuilds`` counts times
-    the dispatcher replaced a broken worker pool with a fresh one before
-    falling back to serial execution.
+    ``result``/``poll`` may still consume it); ``late_results`` counts
+    requests that completed *after* every waiter had timed out on them —
+    such responses are stored, counted, and reclaimable via
+    :meth:`~repro.serving.service.LatencyService.reap_abandoned`, never
+    silently dropped; ``pool_rebuilds`` counts times the dispatcher replaced
+    a broken worker pool with a fresh one before falling back to serial
+    execution.
 
     Stacked-batch counters: ``stacked_batches`` counts shape-bucketed batches
     the dispatcher priced with one vectorized stacked pass;
@@ -173,6 +208,7 @@ class CapacityReport:
     queries_per_second: float
     backends: Tuple[BackendServiceStats, ...] = field(default_factory=tuple)
     timed_out: int = 0
+    late_results: int = 0
     pool_rebuilds: int = 0
     stacked_batches: int = 0
     stacked_points: int = 0

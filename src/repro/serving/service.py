@@ -63,6 +63,7 @@ from .api import (
     LatencyRequest,
     LatencyResponse,
     LatencyServiceError,
+    RequestLogRecord,
     dispatch_order_key,
     length_bucket,
 )
@@ -141,7 +142,14 @@ def _backend_label(spec: Any, report: Optional[SimReport]) -> str:
 
 @dataclass
 class _Ticket:
-    """One submitted request awaiting fulfillment."""
+    """One submitted request awaiting fulfillment.
+
+    ``abandoned`` flips on when a :meth:`LatencyService.result` waiter times
+    out and back off when a waiter returns for the ticket; a fulfillment that
+    lands while the flag is up is a *late result* — counted in stats and
+    reclaimable via :meth:`LatencyService.reap_abandoned`, never a silent
+    orphan in the ticket table.
+    """
 
     id: int
     request: LatencyRequest
@@ -149,6 +157,7 @@ class _Ticket:
     coalesced: bool
     done: threading.Event = field(default_factory=threading.Event)
     response: Optional[LatencyResponse] = None
+    abandoned: bool = False
 
 
 @dataclass
@@ -220,6 +229,7 @@ class LatencyService:
         max_batch: int = 64,
         autostart: bool = True,
         length_bucket_size: Optional[int] = None,
+        request_log_limit: Optional[int] = None,
     ) -> None:
         if session is not None:
             if ppm_config is not None and ppm_config != session.ppm_config:
@@ -253,7 +263,7 @@ class LatencyService:
         self.autostart = bool(autostart)
         #: Shape-bucket width for stacked batch admission (None = one bucket).
         self.length_bucket_size = length_bucket_size
-        self.stats = ServiceStats()
+        self.stats = ServiceStats(request_log_limit=request_log_limit)
 
         self._cond = threading.Condition()
         self._session_lock = threading.RLock()
@@ -398,18 +408,43 @@ class LatencyService:
 
         On timeout the ticket is *not* consumed — a later ``result`` or
         :meth:`poll` may still claim it once fulfilled — but the give-up is
-        counted (``timed_out`` in :meth:`capacity_report`), so an operator
-        can see clients abandoning slow requests.
+        counted (``timed_out`` in :meth:`capacity_report`) and the ticket is
+        marked abandoned: if the job later completes with no waiter attached,
+        the completion lands in stats as a *late result* (``late_results``)
+        and its response stays reclaimable via :meth:`reap_abandoned`, so a
+        client giving up never silently orphans finished work.
         """
         with self._cond:
             ticket = self._tickets[ticket_id]
+            # A returning waiter re-arms the ticket: a completion that lands
+            # while someone is actively waiting is on-time, not late.
+            ticket.abandoned = False
         if not ticket.done.wait(timeout):
+            with self._cond:
+                ticket.abandoned = True
             self.stats.record_timeout()
             raise TimeoutError(f"request {ticket_id} not fulfilled within {timeout}s")
         with self._cond:
             self._tickets.pop(ticket_id, None)
         assert ticket.response is not None
         return ticket.response
+
+    def reap_abandoned(self) -> List[LatencyResponse]:
+        """Consume and return responses of fulfilled-but-abandoned tickets.
+
+        The cleanup half of the late-result contract: tickets whose waiters
+        all timed out stay in the table so their eventual responses are not
+        lost; a long-lived service should periodically reap them (or poll the
+        ids again) so the table cannot grow without bound.
+        """
+        with self._cond:
+            ripe = [
+                t for t in self._tickets.values()
+                if t.abandoned and t.done.is_set()
+            ]
+            for ticket in ripe:
+                del self._tickets[ticket.id]
+        return [t.response for t in ripe if t.response is not None]
 
     def join(self, timeout: Optional[float] = None) -> bool:
         """Wait until the queue is empty and no batch is executing."""
@@ -463,6 +498,18 @@ class LatencyService:
         with self._cond:
             return len(self._queue)
 
+    def request_log(self) -> Tuple[RequestLogRecord, ...]:
+        """Structured log of fulfilled requests (fulfillment order).
+
+        Each record carries the request's arrival (relative to service
+        start), length, priority, relative deadline, and outcome — the exact
+        fields :meth:`repro.cluster.trace.RequestTrace.from_serving_log`
+        needs to replay this traffic through the cluster simulator.  Bounded
+        by the ``request_log_limit`` constructor argument (``None`` keeps
+        everything).
+        """
+        return self.stats.request_log()
+
     def capacity_report(self) -> CapacityReport:
         """Throughput/hit-rate/latency snapshot (see :class:`CapacityReport`)."""
         snap = self.stats.snapshot()
@@ -482,6 +529,7 @@ class LatencyService:
             queries_per_second=completed / busy if busy > 0 else 0.0,
             backends=tuple(self.stats.backend_summaries()),
             timed_out=int(snap["timeouts"]),
+            late_results=int(snap["late_results"]),
             pool_rebuilds=int(snap["pool_rebuilds"]),
             stacked_batches=int(snap["stacked_batches"]),
             stacked_points=int(snap["stacked_points"]),
@@ -750,6 +798,27 @@ class LatencyService:
                         error=error is not None,
                         memo_hit=memo_hit and not ticket.coalesced,
                     )
+                    self.stats.record_request(
+                        RequestLogRecord(
+                            ticket_id=ticket.id,
+                            backend=label,
+                            sequence_length=ticket.request.sequence_length,
+                            priority=ticket.request.priority,
+                            deadline_seconds=ticket.request.deadline_seconds,
+                            arrival_seconds=max(
+                                0.0, ticket.submitted_at - self._started_at
+                            ),
+                            outcome="ok" if error is None else "error",
+                            coalesced=ticket.coalesced,
+                            queue_seconds=ticket.response.queue_seconds,
+                            service_seconds=ticket.response.service_seconds,
+                        )
+                    )
+                    if ticket.abandoned:
+                        # Every waiter gave up before this completion landed:
+                        # count it so operators can see late work, and leave
+                        # the response reclaimable (reap_abandoned / poll).
+                        self.stats.record_late_result()
                     ticket.done.set()
             self._executing = 0
             depth = len(self._queue)

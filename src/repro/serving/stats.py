@@ -10,11 +10,12 @@ so callers never observe a torn update.
 
 from __future__ import annotations
 
+import math
 import threading
 from collections import deque
-from typing import Deque, Dict, List, Sequence
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
-from .api import BackendServiceStats
+from .api import BackendServiceStats, RequestLogRecord
 
 #: Per-backend latency samples kept for percentile estimation.  Old samples
 #: fall out FIFO, so long-lived services report *recent* p50/p99, not the
@@ -23,7 +24,21 @@ RESERVOIR_SIZE = 2048
 
 
 def percentile(values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile of ``values`` (``q`` in [0, 100])."""
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 100]).
+
+    Explicit edge behavior — cluster reports are built from real serving
+    logs of arbitrary size, so the edges are contractual, not accidental:
+
+    * empty input returns ``0.0`` (a report over zero samples reads as zero
+      latency, never a crash),
+    * a single sample is every percentile of itself,
+    * ``q=0`` returns the minimum and ``q=100`` the maximum,
+    * ``q`` outside [0, 100] (or NaN) raises ``ValueError`` — a silent
+      clamp would mask a caller bug as a plausible latency number.
+    """
+    q = float(q)
+    if math.isnan(q) or not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q!r}")
     if not values:
         return 0.0
     ordered = sorted(values)
@@ -56,9 +71,16 @@ class LatencyReservoir:
 
 
 class ServiceStats:
-    """Counters and reservoirs behind :meth:`LatencyService.capacity_report`."""
+    """Counters and reservoirs behind :meth:`LatencyService.capacity_report`.
 
-    def __init__(self) -> None:
+    ``request_log_limit`` bounds the structured per-request log (oldest
+    records fall out FIFO); ``None`` keeps every record — the right setting
+    when the log will be exported as a :class:`~repro.cluster.trace.RequestTrace`
+    for cluster replay, where a truncated trace would misrepresent the
+    traffic.
+    """
+
+    def __init__(self, request_log_limit: Optional[int] = None) -> None:
         self._lock = threading.Lock()
         self.submitted = 0
         self.completed = 0
@@ -71,10 +93,12 @@ class ServiceStats:
         self.queue_depth = 0
         self.peak_queue_depth = 0
         self.timeouts = 0
+        self.late_results = 0
         self.pool_rebuilds = 0
         self.stacked_batches = 0
         self.stacked_points = 0
         self._backends: Dict[str, LatencyReservoir] = {}
+        self._request_log: Deque[RequestLogRecord] = deque(maxlen=request_log_limit)
 
     # ------------------------------------------------------------- submission
     def record_submit(self, coalesced: bool, queue_depth: int) -> None:
@@ -119,6 +143,21 @@ class ServiceStats:
         with self._lock:
             self.timeouts += 1
 
+    def record_late_result(self) -> None:
+        """A request completed after every waiter had timed out on it."""
+        with self._lock:
+            self.late_results += 1
+
+    def record_request(self, record: RequestLogRecord) -> None:
+        """Append one fulfilled request to the structured request log."""
+        with self._lock:
+            self._request_log.append(record)
+
+    def request_log(self) -> Tuple[RequestLogRecord, ...]:
+        """Snapshot of the structured request log (fulfillment order)."""
+        with self._lock:
+            return tuple(self._request_log)
+
     def record_pool_rebuild(self) -> None:
         """The dispatcher replaced a broken worker pool with a fresh one."""
         with self._lock:
@@ -159,6 +198,7 @@ class ServiceStats:
                 "queue_depth": self.queue_depth,
                 "peak_queue_depth": self.peak_queue_depth,
                 "timeouts": self.timeouts,
+                "late_results": self.late_results,
                 "pool_rebuilds": self.pool_rebuilds,
                 "stacked_batches": self.stacked_batches,
                 "stacked_points": self.stacked_points,

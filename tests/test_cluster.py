@@ -720,3 +720,190 @@ class TestPlanner:
         minimal = plan.minimal_fleet()
         assert minimal is not None
         assert minimal.fleet.num_workers <= 4
+
+
+# ----------------------------------------------- serving log -> trace round trip
+def log_record(
+    ticket_id,
+    arrival,
+    length=32,
+    priority=0,
+    deadline=None,
+    outcome="ok",
+    backend="lightnobel",
+):
+    from repro.serving import RequestLogRecord
+
+    return RequestLogRecord(
+        ticket_id=ticket_id,
+        backend=backend,
+        sequence_length=length,
+        priority=priority,
+        deadline_seconds=deadline,
+        arrival_seconds=arrival,
+        outcome=outcome,
+        coalesced=False,
+        queue_seconds=0.0,
+        service_seconds=1e-3,
+    )
+
+
+class TestTraceDuration:
+    def test_duration_of_unsorted_trace_is_the_max_arrival(self):
+        # Regression: duration_seconds used to read requests[-1], which is
+        # wrong for traces not sorted by arrival (merged or log-imported).
+        requests = (
+            Request(id=0, arrival_seconds=5.0, sequence_length=32),
+            Request(id=1, arrival_seconds=1.0, sequence_length=32),
+            Request(id=2, arrival_seconds=3.0, sequence_length=32),
+        )
+        trace = RequestTrace(name="unsorted", requests=requests, seed=0, offered_rps=1.0)
+        assert trace.duration_seconds == 5.0
+
+    def test_duration_of_empty_trace_is_zero(self):
+        trace = RequestTrace(name="empty", requests=(), seed=0, offered_rps=0.0)
+        assert trace.duration_seconds == 0.0
+
+
+class TestServingLogRoundTrip:
+    def test_sorts_by_arrival_and_renumbers(self):
+        # Fulfillment order differs from arrival order (a short protein
+        # finishes before a long one that arrived earlier).
+        records = [
+            log_record(1, arrival=2.0, length=24),
+            log_record(0, arrival=1.0, length=96),
+            log_record(2, arrival=3.0, length=48),
+        ]
+        trace = RequestTrace.from_serving_log(records, rebase_arrivals=False)
+        assert [r.id for r in trace] == [0, 1, 2]
+        assert [r.arrival_seconds for r in trace] == [1.0, 2.0, 3.0]
+        assert [r.sequence_length for r in trace] == [96, 24, 48]
+
+    def test_rebase_shifts_first_arrival_to_zero_and_keeps_gaps(self):
+        records = [
+            log_record(0, arrival=10.0, deadline=0.5),
+            log_record(1, arrival=10.25, deadline=0.75),
+        ]
+        trace = RequestTrace.from_serving_log(records)
+        assert trace.requests[0].arrival_seconds == 0.0
+        assert trace.requests[1].arrival_seconds == pytest.approx(0.25)
+        # Deadlines are relative in the log, absolute in the trace.
+        assert trace.requests[0].deadline_seconds == pytest.approx(0.5)
+        assert trace.requests[1].deadline_seconds == pytest.approx(0.25 + 0.75)
+        assert trace.requests[0].deadline_slack_seconds == pytest.approx(0.5)
+
+    def test_priority_and_missing_deadline_are_preserved(self):
+        records = [
+            log_record(0, arrival=0.0, priority=2, deadline=None),
+            log_record(1, arrival=0.5, priority=0, deadline=1.0),
+        ]
+        trace = RequestTrace.from_serving_log(records)
+        assert trace.requests[0].priority == 2
+        assert trace.requests[0].deadline_seconds is None
+        assert trace.requests[1].priority == 0
+        assert trace.requests[1].deadline_seconds == pytest.approx(1.5)
+
+    def test_errors_are_dropped_by_default_and_kept_on_request(self):
+        records = [
+            log_record(0, arrival=0.0),
+            log_record(1, arrival=0.5, outcome="error"),
+            log_record(2, arrival=1.0),
+        ]
+        assert len(RequestTrace.from_serving_log(records)) == 2
+        kept = RequestTrace.from_serving_log(records, include_errors=True)
+        assert len(kept) == 3
+
+    def test_empty_log_builds_an_empty_trace(self):
+        trace = RequestTrace.from_serving_log([])
+        assert len(trace) == 0
+        assert trace.duration_seconds == 0.0
+        assert trace.offered_rps == 0.0
+
+    def test_offered_rps_matches_the_log_span(self):
+        records = [log_record(i, arrival=0.5 * i) for i in range(5)]
+        trace = RequestTrace.from_serving_log(records)
+        assert trace.offered_rps == pytest.approx(5 / 2.0)
+
+    def test_digest_is_stable_within_and_across_processes(self):
+        import subprocess
+        import sys
+
+        records = [
+            log_record(i, arrival=0.125 * i, length=24 + 8 * (i % 3), priority=i % 2,
+                       deadline=0.5 + 0.01 * i)
+            for i in range(6)
+        ]
+        trace = RequestTrace.from_serving_log(records)
+        assert trace.config_digest() == RequestTrace.from_serving_log(records).config_digest()
+        script = (
+            "from repro.cluster import RequestTrace\n"
+            "from tests.test_cluster import log_record\n"
+            "records = [log_record(i, arrival=0.125 * i, length=24 + 8 * (i % 3),"
+            " priority=i % 2, deadline=0.5 + 0.01 * i) for i in range(6)]\n"
+            "print(RequestTrace.from_serving_log(records).config_digest())\n"
+        )
+        other = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True,
+        )
+        assert other.stdout.strip() == trace.config_digest()
+
+    def test_live_service_log_replays_bit_identically(self, tiny_session):
+        with LatencyService(
+            ppm_config=PPMConfig.tiny(), use_disk_cache=False
+        ) as service:
+            tickets = service.submit_batch(
+                [
+                    ("h100-chunk", n)
+                    for n in (24, 40, 24, 40)
+                ]
+            )
+            for ticket in tickets:
+                service.result(ticket, timeout=120.0).raise_for_error()
+            records = service.request_log()
+        trace = RequestTrace.from_serving_log(records)
+        assert len(trace) == 4
+        assert sorted(trace.lengths()) == [24, 24, 40, 40]
+        fleet = FleetSpec.homogeneous("h100-chunk", 2)
+        times = prefetch_service_times(trace, fleet, session=tiny_session)
+        first = replay_trace(trace, fleet, scheduler="edf", service_times=times)
+        again = replay_trace(trace, fleet, scheduler="edf", service_times=times)
+        assert first == again  # bit-identical, every field
+
+
+class TestLogTraceProperties:
+    """Hypothesis: any serving log round-trips to a bit-stable replayable trace."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    logs = st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            st.sampled_from([24, 32, 48, 96]),
+            st.integers(min_value=0, max_value=2),
+            st.one_of(st.none(), st.floats(min_value=1e-3, max_value=10.0)),
+        ),
+        min_size=1,
+        max_size=25,
+    )
+
+    @given(entries=logs)
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_replays_bit_identically(self, entries):
+        records = [
+            log_record(i, arrival=a, length=n, priority=p, deadline=d)
+            for i, (a, n, p, d) in enumerate(entries)
+        ]
+        trace = RequestTrace.from_serving_log(records)
+        assert len(trace) == len(entries)
+        assert trace.config_digest() == RequestTrace.from_serving_log(records).config_digest()
+        arrivals = [r.arrival_seconds for r in trace]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] == 0.0
+        fleet = FleetSpec.homogeneous("lightnobel", 2)
+        times = {(0, n): 0.001 * n for n in trace.distinct_lengths()}
+        first = replay_trace(trace, fleet, scheduler="edf", service_times=times)
+        again = replay_trace(trace, fleet, scheduler="edf", service_times=times)
+        assert first == again
+        assert first.completed == len(trace)

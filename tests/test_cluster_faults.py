@@ -483,16 +483,45 @@ class TestAutoscaler:
             report.mean_fleet_size * report.makespan_seconds
         )
 
-    def test_autoscaler_requires_homogeneous_fleet(self):
+    def test_autoscaler_scales_each_group_of_a_mixed_fleet(self):
+        from repro.cluster import WorkerGroup
+
+        # A burst of short requests feasible on both groups: each group's
+        # scaler sees the shared backlog and both may grow, but neither may
+        # leave its own [min, max] band and every request must complete.
+        fleet = FleetSpec(groups=(WorkerGroup("lightnobel", 1),
+                                  WorkerGroup("h100", 1)), name="mixed")
+        trace = micro_trace([0.01 * i for i in range(40)])
+        scaler = Autoscaler(
+            min_workers=1, max_workers=3, interval_seconds=0.05,
+            scale_up_queue_per_worker=2.0, scale_up_lag_seconds=0.1,
+        )
+        report = replay_trace(
+            trace, fleet,
+            service_times={(0, 32): 1.0, (1, 32): 0.5},
+            autoscaler=scaler,
+            router="memory-fit",
+        )
+        assert report.completed == report.requests
+        assert report.peak_fleet_size > 2  # some group did scale up
+        assert report.peak_fleet_size <= 2 * scaler.max_workers
+        assert report.worker_hours * 3600.0 == pytest.approx(
+            report.mean_fleet_size * report.makespan_seconds
+        )
+
+    def test_per_group_autoscalers_must_share_a_tick_interval(self):
         from repro.cluster import WorkerGroup
 
         fleet = FleetSpec(groups=(WorkerGroup("lightnobel", 1),
                                   WorkerGroup("h100", 1)), name="mixed")
-        with pytest.raises(ValueError, match="homogeneous"):
+        with pytest.raises(ValueError, match="interval"):
             replay_trace(
                 micro_trace([0.0]), fleet,
                 service_times={(0, 32): 1.0, (1, 32): 1.0},
-                autoscaler=Autoscaler(),
+                autoscaler=(
+                    Autoscaler(interval_seconds=0.5),
+                    Autoscaler(interval_seconds=0.25),
+                ),
             )
 
     def test_scale_down_retires_idle_workers_and_stops_billing(self):

@@ -630,3 +630,152 @@ class TestServiceResilience:
         assert report.total_seconds > 0
         assert service.stats.errors == 1
         service.close()
+
+
+class TestPercentileEdgeCases:
+    """The explicit contract of repro.serving.stats.percentile."""
+
+    def test_empty_input_is_zero(self):
+        from repro.serving.stats import percentile
+
+        assert percentile([], 50.0) == 0.0
+        assert percentile((), 0.0) == 0.0
+        assert percentile([], 100.0) == 0.0
+
+    def test_single_sample_is_every_percentile(self):
+        from repro.serving.stats import percentile
+
+        for q in (0.0, 1.0, 50.0, 99.0, 100.0):
+            assert percentile([0.125], q) == 0.125
+
+    def test_q0_is_min_and_q100_is_max(self):
+        from repro.serving.stats import percentile
+
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 100.0) == 5.0
+
+    def test_nearest_rank_interior(self):
+        from repro.serving.stats import percentile
+
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 50.0) == 2.0  # rank ceil(0.5 * 4) = 2
+        assert percentile(values, 99.0) == 4.0
+
+    def test_out_of_range_or_nan_raises(self):
+        from repro.serving.stats import percentile
+
+        for bad in (-0.1, 100.1, float("nan")):
+            with pytest.raises(ValueError):
+                percentile([1.0], bad)
+
+    def test_input_is_not_mutated(self):
+        from repro.serving.stats import percentile
+
+        values = [3.0, 1.0, 2.0]
+        percentile(values, 50.0)
+        assert values == [3.0, 1.0, 2.0]
+
+
+class TestLateResults:
+    """A completion landing after every waiter gave up is counted, not lost."""
+
+    def test_late_result_is_counted_and_reapable(self, config):
+        service = make_service(config, autostart=False)
+        ticket = service.submit(LatencyRequest("lightnobel", LENGTHS[0]))
+        with pytest.raises(TimeoutError):
+            service.result(ticket, timeout=0.01)  # dispatcher never started
+        service.start()
+        assert service.join(timeout=TIMEOUT)
+        # The completion landed with no waiter attached: counted as late in
+        # stats (the satellite-2 leak), response still reclaimable.
+        assert service.stats.late_results == 1
+        report = service.capacity_report()
+        assert report.late_results == 1
+        assert report.completed == 1
+        reaped = service.reap_abandoned()
+        assert len(reaped) == 1
+        assert reaped[0].ok
+        assert service.reap_abandoned() == []  # consumed, table is clean
+        service.close()
+
+    def test_reclaimed_ticket_is_not_reapable_twice(self, config):
+        service = make_service(config, autostart=False)
+        ticket = service.submit(LatencyRequest("lightnobel", LENGTHS[0]))
+        with pytest.raises(TimeoutError):
+            service.result(ticket, timeout=0.01)
+        service.start()
+        response = service.result(ticket, timeout=TIMEOUT)  # still claimable
+        assert response.ok
+        assert service.reap_abandoned() == []  # result() consumed the ticket
+        service.close()
+
+    def test_on_time_results_count_no_late_completions(self, config):
+        with make_service(config) as service:
+            service.query_batch([("lightnobel", n) for n in LENGTHS], timeout=TIMEOUT)
+            assert service.stats.late_results == 0
+            assert service.capacity_report().late_results == 0
+            assert service.reap_abandoned() == []
+
+
+class TestRequestLog:
+    """The structured per-request log behind RequestTrace.from_serving_log."""
+
+    def test_log_records_the_request_annotations(self, config):
+        service = make_service(config, autostart=False)
+        ticket = service.submit(
+            LatencyRequest(
+                "lightnobel", LENGTHS[0], priority=1, deadline_seconds=5.0
+            )
+        )
+        service.start()
+        service.result(ticket, timeout=TIMEOUT).raise_for_error()
+        (record,) = service.request_log()
+        assert record.ticket_id == ticket
+        assert record.backend == "lightnobel"
+        assert record.sequence_length == LENGTHS[0]
+        assert record.priority == 1
+        assert record.deadline_seconds == 5.0  # relative, as submitted
+        assert record.outcome == "ok" and record.ok
+        assert record.arrival_seconds >= 0.0
+        assert record.queue_seconds >= 0.0
+        assert record.service_seconds > 0.0
+        service.close()
+
+    def test_log_is_in_fulfillment_order_and_complete(self, config):
+        with make_service(config) as service:
+            service.query_batch(
+                [("lightnobel", n) for n in LENGTHS] * 2, timeout=TIMEOUT
+            )
+        log = service.request_log()
+        assert len(log) == 4
+        completed_order = [r.ticket_id for r in log]
+        assert len(set(completed_order)) == 4
+
+    def test_request_log_limit_bounds_the_log(self, config):
+        service = make_service(config, request_log_limit=3, autostart=False)
+        tickets = service.submit_batch(
+            [("lightnobel", LENGTHS[i % 2]) for i in range(5)]
+        )
+        service.start()
+        for ticket in tickets:
+            service.result(ticket, timeout=TIMEOUT)
+        log = service.request_log()
+        assert len(log) == 3  # oldest two fell out FIFO
+        service.close()
+
+    def test_failed_requests_log_an_error_outcome(self, config, monkeypatch):
+        service = make_service(config, autostart=False)
+        monkeypatch.setattr(
+            service,
+            "_execute",
+            lambda jobs: (_ for _ in ()).throw(RuntimeError("boom")),
+        )
+        ticket = service.submit(LatencyRequest("lightnobel", LENGTHS[0]))
+        service.start()
+        response = service.result(ticket, timeout=TIMEOUT)
+        assert not response.ok
+        (record,) = service.request_log()
+        assert record.outcome == "error"
+        assert not record.ok
+        service.close()
