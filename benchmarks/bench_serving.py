@@ -21,7 +21,7 @@ round), cold-to-warm speedup, and exact parity with a direct
 import tempfile
 import time
 
-from conftest import print_table
+from conftest import emit_bench_json, print_table
 
 from repro.serving import LatencyRequest, LatencyService
 from repro.sim import SimulationSession
@@ -124,3 +124,93 @@ def test_serving_throughput_cold_vs_warm(paper_config):
         # Warm regimes must beat the cold regime on sustained throughput.
         assert warm_qps >= cold_qps
         assert fresh_qps >= cold_qps
+
+
+def test_http_socket_path_throughput(paper_config):
+    """Socket-path guard: the same trace in-process vs over HTTP, warm.
+
+    One seeded trace replays twice against one shared warm service — direct
+    ``LatencyService`` calls, then real TCP through the front door — so the
+    gap is pure HTTP overhead (framing, JSON, event loop), not simulation.
+    Asserts full completion, zero errors, full SLO attainment on both paths,
+    a clean drain, and that the socket path clears an absolute q/s floor;
+    emits ``BENCH_http_serving.json``.
+    """
+    from repro.cluster import SLOPolicy, mixture_lengths, poisson_trace
+    from repro.serving.http import (
+        replay_trace_http,
+        replay_trace_inprocess,
+        serve_in_thread,
+    )
+
+    lengths, weights = mixture_lengths([(200, 0.6), (400, 0.3), (800, 0.1)])
+    trace = poisson_trace(
+        rate_rps=500.0,
+        num_requests=150,
+        length_pool=lengths,
+        length_weights=weights,
+        slo=SLOPolicy(base_seconds=5.0, per_residue_seconds=0.01),
+        seed=31,
+        name="http-bench",
+    )
+
+    service = LatencyService(ppm_config=paper_config, use_disk_cache=False)
+    handle = serve_in_thread(service=service, max_pending_per_tenant=1024)
+    try:
+        # Warm the memo so both measured passes price cached keys only.
+        for n in trace.distinct_lengths():
+            service.query("lightnobel", n, timeout=600.0)
+        inproc = replay_trace_inprocess(trace, service)
+        http = replay_trace_http(trace, handle.host, handle.port, tenant="bench")
+    finally:
+        drain = handle.stop(drain=True)
+        service.close()
+
+    print_table(
+        "Socket path: same trace, in-process vs HTTP (warm)",
+        [
+            ("path", "completed", "q/s", "SLO", "p50 ms", "p99 ms"),
+            *(
+                (
+                    r.mode,
+                    f"{r.completed}/{r.offered}",
+                    f"{r.queries_per_second:8.0f}",
+                    f"{r.slo_attainment:.3f}",
+                    f"{r.p50_service_seconds * 1e3:7.3f}",
+                    f"{r.p99_service_seconds * 1e3:7.3f}",
+                )
+                for r in (inproc, http)
+            ),
+        ],
+    )
+
+    for report in (inproc, http):
+        assert report.completed == len(trace)
+        assert report.errors == 0
+        assert report.slo_attainment == 1.0
+    assert drain["unfulfilled"] == 0
+
+    # The guard: warm socket-path throughput must stay above an absolute
+    # floor — loose enough for CI jitter, tight enough to catch a framing
+    # or event-loop regression turning per-request cost from sub-ms to ms.
+    assert http.queries_per_second > 200.0
+
+    emit_bench_json(
+        "http_serving",
+        {
+            "trace": trace.name,
+            "requests": len(trace),
+            "inprocess_qps": inproc.queries_per_second,
+            "http_qps": http.queries_per_second,
+            "http_over_inprocess": (
+                http.queries_per_second / inproc.queries_per_second
+                if inproc.queries_per_second
+                else 0.0
+            ),
+            "http_slo_attainment": http.slo_attainment,
+            "http_p50_ms": http.p50_service_seconds * 1e3,
+            "http_p99_ms": http.p99_service_seconds * 1e3,
+            "retried_429": http.retried_429,
+            "drain": drain,
+        },
+    )

@@ -75,7 +75,24 @@ top of any scheduler, fleet-vs-fleet pricing, and live-traffic replay::
 Replays are bit-deterministic for fixed trace/fault seeds; scheduling
 policies share priority/deadline semantics with the live
 :class:`~repro.serving.service.LatencyService` dispatcher.
+
+Facade
+------
+This module exports the cluster layer's documented surface: traffic
+(:func:`create_trace` plus the named generators), fleets, replay, faults,
+control loops, planning, scenarios, and the router/scheduler *factories*
+(:func:`create_router`, :func:`create_scheduler` — the repo-wide
+``create_*`` family shared with :func:`repro.sim.backend.create_backend`
+and :func:`repro.serving.create_service`).
+
+Internal helpers that used to leak through this facade —
+``scheduler_name``/``select_worker`` (:mod:`repro.cluster.scheduler`) and
+``router_name``/``group_infos`` (:mod:`repro.cluster.routing`) — still
+import here but raise a :class:`DeprecationWarning`; import them from their
+home modules.
 """
+
+import warnings
 
 from .control import ADMIT_ALL, AdmissionController, Autoscaler
 from .des import (
@@ -120,8 +137,6 @@ from .routing import (
     MemoryFitRouter,
     RouterSpec,
     create_router,
-    group_infos,
-    router_name,
 )
 from .scenarios import (
     ClusterScenario,
@@ -142,15 +157,15 @@ from .scheduler import (
     SJFScheduler,
     Scheduler,
     create_scheduler,
-    scheduler_name,
-    select_worker,
 )
 from .trace import (
     NO_SLO,
+    TRACE_GENERATORS,
     Request,
     RequestTrace,
     SLOPolicy,
     bursty_trace,
+    create_trace,
     dataset_lengths,
     diurnal_trace,
     mixture_lengths,
@@ -195,6 +210,7 @@ __all__ = [
     "SLOPolicy",
     "Scheduler",
     "StragglerWindow",
+    "TRACE_GENERATORS",
     "WorkerCrash",
     "WorkerGroup",
     "WorkerHealth",
@@ -202,9 +218,9 @@ __all__ = [
     "compare_fleets",
     "create_router",
     "create_scheduler",
+    "create_trace",
     "dataset_lengths",
     "diurnal_trace",
-    "group_infos",
     "mixed_fleet_experiment",
     "mixed_fleet_trace",
     "mixture_lengths",
@@ -218,9 +234,30 @@ __all__ = [
     "replay_trace_outcomes",
     "resilience_experiment",
     "robust_minimal_fleet",
-    "router_name",
     "scenario_suite",
-    "scheduler_name",
-    "select_worker",
     "small_memory_gpu",
 ]
+
+#: Names that used to be exported here -> (home module, attribute).
+_DEPRECATED = {
+    "group_infos": ("repro.cluster.routing", "group_infos"),
+    "router_name": ("repro.cluster.routing", "router_name"),
+    "scheduler_name": ("repro.cluster.scheduler", "scheduler_name"),
+    "select_worker": ("repro.cluster.scheduler", "select_worker"),
+}
+
+
+def __getattr__(name):
+    moved = _DEPRECATED.get(name)
+    if moved is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    module_name, attribute = moved
+    warnings.warn(
+        f"importing {name!r} from {__name__!r} is deprecated; "
+        f"import it from {module_name!r}",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attribute)

@@ -315,6 +315,39 @@ def _annotate(
 
 
 # --------------------------------------------------------- arrival generators
+#: Registered arrival processes for :func:`create_trace`.
+TRACE_GENERATORS: Dict[str, "object"] = {}
+
+
+def _register_trace(name: str):
+    def _wrap(fn):
+        TRACE_GENERATORS[name] = fn
+        return fn
+
+    return _wrap
+
+
+def create_trace(kind: str, **kwargs) -> RequestTrace:
+    """Build a trace by generator name — the ``create_*`` factory of this module.
+
+    ``kind`` is one of :data:`TRACE_GENERATORS` (``"poisson"``, ``"bursty"``,
+    ``"diurnal"``); remaining keyword arguments go to the generator verbatim,
+    e.g. ``create_trace("poisson", rate_rps=80.0, num_requests=500,
+    length_pool=pool)``.  The same naming family as
+    :func:`repro.sim.backend.create_backend`,
+    :func:`repro.cluster.routing.create_router`,
+    :func:`repro.cluster.scheduler.create_scheduler`, and
+    :func:`repro.serving.service.create_service`.
+    """
+    try:
+        generator = TRACE_GENERATORS[kind]
+    except KeyError:
+        known = ", ".join(sorted(TRACE_GENERATORS))
+        raise ValueError(f"unknown trace kind {kind!r}; expected one of: {known}") from None
+    return generator(**kwargs)
+
+
+@_register_trace("poisson")
 def poisson_trace(
     rate_rps: float,
     num_requests: int,
@@ -342,6 +375,7 @@ def poisson_trace(
     )
 
 
+@_register_trace("diurnal")
 def diurnal_trace(
     rate_rps: float,
     num_requests: int,
@@ -405,6 +439,7 @@ def diurnal_trace(
     )
 
 
+@_register_trace("bursty")
 def bursty_trace(
     rate_rps: float,
     num_requests: int,

@@ -14,7 +14,34 @@ The serving layer speaks in three frozen dataclasses:
 
 Responses are produced by :class:`~repro.serving.service.LatencyService`;
 nothing here imports the service, so these types are cheap to ship across
-process or serialization boundaries.
+process or serialization boundaries.  The wire twins of these types —
+JSON-serializable, ``schema_version``-stamped — live in
+:mod:`repro.serving.wire`; the HTTP front door that speaks them lives in
+:mod:`repro.serving.http`.
+
+Ticket lifecycle
+----------------
+Every ``submit`` returns a ticket id; the ticket's life is:
+
+1. **pending** — queued or executing.  ``poll`` returns ``None``;
+   ``result(timeout=)`` blocks up to ``timeout`` seconds.
+2. **fulfilled** — a :class:`LatencyResponse` is stored.  The *first*
+   ``poll``/``result`` that sees it **consumes** the ticket; consuming
+   twice raises ``KeyError``.
+3. **timed out** — ``result(timeout=)`` gave up.  The ticket is *not*
+   consumed (a later ``poll``/``result`` may still claim it), the give-up
+   is counted (``timed_out`` in :class:`CapacityReport`) and the ticket is
+   marked *abandoned*.  A fulfillment landing while the ticket is abandoned
+   counts as a **late result** (``late_results``) — stored, never dropped.
+4. **reaped** — ``reap_abandoned()`` consumed an abandoned-and-fulfilled
+   ticket on the caller's behalf (the periodic cleanup a long-lived service
+   runs so the ticket table stays bounded).  ``abandon(ticket_id)`` marks a
+   ticket for the next reap without waiting out a timeout.
+
+The HTTP front door (:mod:`repro.serving.http`) maps this lifecycle onto
+status codes — pending → 202, fulfilled → 200 (consuming), unknown → 404,
+already consumed → 404 (``"already_consumed"``), reaped → **410 Gone** —
+so a socket client observes exactly the in-process semantics.
 """
 
 from __future__ import annotations

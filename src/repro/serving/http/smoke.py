@@ -1,0 +1,127 @@
+"""CI smoke entry: the pinned end-to-end socket scenario.
+
+Run as ``PYTHONPATH=src python -m repro.serving.http.smoke``.  Starts a
+front door on a background thread, replays a pinned seeded
+:class:`~repro.cluster.trace.RequestTrace` through real sockets with the
+load harness, and asserts the acceptance contract:
+
+* every offered request completes over HTTP with zero errors,
+* SLO attainment through the socket path meets the pinned target,
+* the structured request log fetched from ``GET /v1/log`` rebuilds a
+  digest-stable :meth:`RequestTrace.from_serving_log` trace (byte-identical
+  digest when rebuilt twice from the same log),
+* clean shutdown: the drain report shows zero unfulfilled (dropped) and
+  zero unclaimed tickets.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+
+from ...cluster.trace import SLOPolicy, mixture_lengths, poisson_trace
+from ...ppm.config import PPMConfig
+from ...sim.cache import sandbox_cache_dir
+from ..wire import request_log_from_json
+from .client import FrontDoorClient
+from .loadgen import replay_trace_http
+from .server import serve_in_thread
+
+#: Pinned scenario: 90 Poisson arrivals over a short/medium/long mixture,
+#: per-token SLO with generous base (the tiny config simulates in
+#: microseconds; the 2 s base absorbs socket + scheduling jitter on slow CI).
+SMOKE_SLO_TARGET = 0.95
+
+
+def _pinned_trace():
+    lengths, weights = mixture_lengths([(24, 0.6), (48, 0.3), (96, 0.1)])
+    return poisson_trace(
+        rate_rps=300.0,
+        num_requests=90,
+        length_pool=lengths,
+        length_weights=weights,
+        slo=SLOPolicy(base_seconds=2.0, per_residue_seconds=0.01),
+        seed=23,
+        name="http-smoke",
+    )
+
+
+def _round_trip_digests(log_json: str) -> tuple:
+    from ...cluster.trace import RequestTrace
+
+    records = request_log_from_json(log_json)
+    first = RequestTrace.from_serving_log(records, name="http-smoke-replayed")
+    second = RequestTrace.from_serving_log(records, name="http-smoke-replayed")
+    return first, first.config_digest(), second.config_digest()
+
+
+def main(argv=None) -> int:
+    trace = _pinned_trace()
+    with tempfile.TemporaryDirectory(prefix="repro-http-smoke-") as cache_dir:
+        with sandbox_cache_dir(cache_dir):
+            handle = serve_in_thread(
+                ppm_config=PPMConfig.tiny(),
+                use_disk_cache=False,
+                max_pending_per_tenant=512,
+            )
+            try:
+                report = replay_trace_http(
+                    trace, handle.host, handle.port, tenant="smoke"
+                )
+                log_json = _fetch_log(handle.host, handle.port)
+            finally:
+                drain = handle.stop(drain=True)
+
+    print(report.summary())
+    print(f"drain: {drain}")
+
+    if report.completed != len(trace) or report.errors:
+        print(
+            f"FAIL: {report.completed}/{len(trace)} completed with "
+            f"{report.errors} errors over the socket path",
+            file=sys.stderr,
+        )
+        return 1
+    if report.slo_attainment < SMOKE_SLO_TARGET:
+        print(
+            f"FAIL: socket-path SLO attainment {report.slo_attainment:.3f} "
+            f"< pinned target {SMOKE_SLO_TARGET}",
+            file=sys.stderr,
+        )
+        return 1
+
+    replayed, digest_a, digest_b = _round_trip_digests(log_json)
+    if digest_a != digest_b:
+        print("FAIL: serving-log round trip is not digest-stable", file=sys.stderr)
+        return 1
+    if len(replayed) != len(trace):
+        print(
+            f"FAIL: round-trip trace has {len(replayed)} requests, "
+            f"offered {len(trace)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"log round trip: {len(replayed)} requests, digest {digest_a[:12]}")
+
+    if drain.get("unfulfilled", 0) != 0 or drain.get("unclaimed", 0) != 0:
+        print(f"FAIL: shutdown dropped tickets: {drain}", file=sys.stderr)
+        return 1
+    print(
+        "smoke ok: pinned trace over sockets, SLO "
+        f"{report.slo_attainment:.3f} >= {SMOKE_SLO_TARGET}, clean drain"
+    )
+    return 0
+
+
+def _fetch_log(host: str, port: int) -> str:
+    import asyncio
+
+    async def _go() -> str:
+        async with FrontDoorClient(host, port) as client:
+            return await client.request_log_json()
+
+    return asyncio.run(_go())
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -72,6 +72,17 @@ from .stats import ServiceStats
 RequestLike = Union[LatencyRequest, Tuple[Any, int]]
 
 
+def create_service(**kwargs) -> "LatencyService":
+    """Factory twin of :class:`LatencyService` (same keyword arguments).
+
+    The serving sibling of :func:`repro.sim.backend.create_backend`,
+    :func:`repro.cluster.create_scheduler` / ``create_router`` /
+    ``create_trace`` and :func:`repro.serving.http.create_front_door` — one
+    consistent ``create_*`` naming across the facade.
+    """
+    return LatencyService(**kwargs)
+
+
 def _as_request(request: RequestLike) -> LatencyRequest:
     if isinstance(request, LatencyRequest):
         return request
@@ -267,6 +278,9 @@ class LatencyService:
 
         self._cond = threading.Condition()
         self._session_lock = threading.RLock()
+        #: Fulfillment listeners (see :meth:`add_result_listener`), invoked by
+        #: the dispatcher thread outside the service lock.
+        self._listeners: List = []
         self._queue: Deque[_Job] = deque()
         #: Queued jobs with non-default priority/deadline; while zero the
         #: dispatcher drains with the O(1) FIFO popleft fast path instead of
@@ -428,6 +442,38 @@ class LatencyService:
             self._tickets.pop(ticket_id, None)
         assert ticket.response is not None
         return ticket.response
+
+    def abandon(self, ticket_id: int) -> bool:
+        """Mark a ticket abandoned without blocking on it; returns whether it exists.
+
+        The non-blocking half of the abandonment contract: a
+        :meth:`result` timeout marks its ticket abandoned implicitly; a
+        client (or a front end such as :class:`repro.serving.http`'s result
+        reaper) that *knows* it will never claim a ticket calls this instead
+        of waiting out a timeout.  An abandoned-and-fulfilled ticket is
+        collected by the next :meth:`reap_abandoned`; polling or waiting on
+        the ticket again un-abandons nothing — ``abandon`` is a one-way hint
+        until a waiter returns via :meth:`result`, which re-arms it.
+        """
+        with self._cond:
+            ticket = self._tickets.get(ticket_id)
+            if ticket is None:
+                return False
+            ticket.abandoned = True
+            return True
+
+    def add_result_listener(self, listener) -> None:
+        """Register ``listener(ticket_ids)`` to run after each fulfilled batch.
+
+        Called from the dispatcher thread, outside the service lock, with the
+        tuple of ticket ids fulfilled by one batch — *after* every ticket's
+        response is readable via :meth:`poll`.  Listeners must be fast and
+        must not raise (exceptions are swallowed to protect the dispatcher);
+        the HTTP front door uses this to wake its event loop instead of
+        polling.
+        """
+        with self._cond:
+            self._listeners.append(listener)
 
     def reap_abandoned(self) -> List[LatencyResponse]:
         """Consume and return responses of fulfilled-but-abandoned tickets.
@@ -769,6 +815,7 @@ class LatencyService:
         started: float,
     ) -> None:
         end = time.perf_counter()
+        fulfilled: List[int] = []
         with self._cond:
             for job in jobs:
                 report, error, memo_hit = results.get(
@@ -820,7 +867,18 @@ class LatencyService:
                         # the response reclaimable (reap_abandoned / poll).
                         self.stats.record_late_result()
                     ticket.done.set()
+                    fulfilled.append(ticket.id)
             self._executing = 0
             depth = len(self._queue)
+            listeners = list(self._listeners)
             self._cond.notify_all()
         self.stats.record_batch(busy_seconds=end - started, queue_depth=depth)
+        # Listener contract: fulfilled responses are already pollable, the
+        # lock is released (a listener may call poll()/stats), and a listener
+        # crash never takes the dispatcher down with it.
+        ids = tuple(fulfilled)
+        for listener in listeners:
+            try:
+                listener(ids)
+            except Exception:
+                pass

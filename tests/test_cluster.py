@@ -36,11 +36,12 @@ from repro.cluster import (
     prefetch_service_times,
     replay_trace,
     replay_trace_outcomes,
-    scheduler_name,
 )
+from repro.cluster.scheduler import scheduler_name
 from repro.hardware import ChipLinkSpec
 from repro.ppm import PPMConfig
-from repro.serving import LatencyService, dispatch_order_key
+from repro.serving import LatencyService
+from repro.serving.api import dispatch_order_key
 from repro.sim import SimulationSession, SweepPoint, sweep
 
 RELATIVE_TOLERANCE = 1e-9

@@ -26,13 +26,12 @@ from repro.cluster import (
     WorkerGroup,
     compare_fleets,
     create_router,
-    group_infos,
     mixed_fleet_experiment,
     mixed_fleet_trace,
     replay_trace,
-    router_name,
     small_memory_gpu,
 )
+from repro.cluster.routing import group_infos, router_name
 from repro.cluster.scenarios import MIXED_FLEET_SLO
 
 RELATIVE_TOLERANCE = 1e-9
