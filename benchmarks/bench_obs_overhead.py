@@ -1,0 +1,147 @@
+"""Perf guard: observability must ride the warm serving path at <= 5% cost.
+
+The tracing hot path is one pre-built tuple append under one lock per
+fulfilled request (:meth:`repro.obs.tracing.Tracer.record_batch`); this
+benchmark holds it to that promise.  One warm paper-config service serves
+the multi-tenant request stream of ``bench_serving`` in alternating
+tracer-off / tracer-on rounds (interleaved so drift hits both modes
+equally), takes the min-of-N wall time per mode, and asserts the relative
+overhead stays within the 5% CI budget.  Emits ``BENCH_obs_overhead.json``.
+
+The DES timeline recorder is measured the same way (micro replay with and
+without a recorder attached) and reported alongside — informational, since
+a replay is an offline analysis, not a serving hot path.
+"""
+
+import time
+
+from conftest import emit_bench_json, print_table
+
+from repro.cluster import FleetSpec, Request, RequestTrace, replay_trace_outcomes
+from repro.obs.timeline import TimelineRecorder
+from repro.obs.tracing import Tracer
+from repro.serving import LatencyRequest, LatencyService
+
+#: Relative warm-path slowdown the tracer is allowed (the CI guard).
+MAX_TRACING_OVERHEAD = 0.05
+
+SEQUENCE_LENGTHS = (200, 400, 800)
+BACKENDS = ("lightnobel", "h100", "h100-chunk")
+DUPLICATION = 8
+ROUNDS = 14
+
+
+def request_stream():
+    unique = [
+        LatencyRequest(backend=backend, sequence_length=n)
+        for backend in BACKENDS
+        for n in SEQUENCE_LENGTHS
+    ]
+    return unique * DUPLICATION
+
+
+def test_tracing_overhead_on_warm_path(paper_config):
+    requests = request_stream()
+    tracer = Tracer(max_traces=256)
+    with LatencyService(ppm_config=paper_config, use_disk_cache=False) as service:
+        service.query_batch(requests, timeout=600.0)  # warm the memo first
+
+        def one_round(traced: bool) -> float:
+            service.tracer = tracer if traced else None
+            start = time.perf_counter()
+            service.query_batch(requests, timeout=600.0)
+            return time.perf_counter() - start
+
+        off_times, on_times = [], []
+        for _ in range(ROUNDS):
+            off_times.append(one_round(False))
+            on_times.append(one_round(True))
+        stats = service.capacity_report()
+
+    # Min-of-N: the cleanest pass each mode got under identical conditions.
+    t_off, t_on = min(off_times), min(on_times)
+    overhead = (t_on - t_off) / t_off
+    per_request_off = t_off / len(requests)
+    per_request_on = t_on / len(requests)
+
+    print_table(
+        "Tracing overhead: warm LatencyService, tracer off vs on",
+        [
+            ("mode", "round ms (min of %d)" % ROUNDS, "per-request us"),
+            ("tracer off", f"{t_off * 1e3:8.3f}", f"{per_request_off * 1e6:7.2f}"),
+            ("tracer on", f"{t_on * 1e3:8.3f}", f"{per_request_on * 1e6:7.2f}"),
+        ],
+    )
+    print(
+        f"  overhead: {overhead * 100:.2f}% "
+        f"(budget {MAX_TRACING_OVERHEAD * 100:.0f}%), "
+        f"{len(tracer)} traces held, {tracer.evicted_traces} evicted"
+    )
+
+    # Sanity: every round was pure memo (no simulator runs to pollute timing).
+    assert stats.errors == 0
+    assert overhead <= MAX_TRACING_OVERHEAD, (
+        f"tracing slows the warm path {overhead * 100:.2f}% "
+        f"(> {MAX_TRACING_OVERHEAD * 100:.0f}% budget)"
+    )
+
+    # Timeline recorder: micro replay with vs without (informational).
+    trace = RequestTrace(
+        name="obs-bench",
+        requests=tuple(
+            Request(
+                id=i,
+                arrival_seconds=0.01 * i,
+                sequence_length=32,
+                priority=0,
+                deadline_seconds=0.01 * i + 5.0,
+            )
+            for i in range(2000)
+        ),
+        seed=0,
+        offered_rps=100.0,
+    )
+    fleet = FleetSpec.homogeneous("lightnobel", 4)
+    times = {(0, 32): 0.05}
+
+    def replay_round(with_recorder: bool):
+        recorder = TimelineRecorder() if with_recorder else None
+        start = time.perf_counter()
+        result = replay_trace_outcomes(
+            trace, fleet, service_times=times, timeline=recorder
+        )
+        return time.perf_counter() - start, result, recorder
+
+    bare_times, recorded_times = [], []
+    baseline = recorded = recorder = None
+    for _ in range(5):
+        t, baseline, _ = replay_round(False)
+        bare_times.append(t)
+        t, recorded, recorder = replay_round(True)
+        recorded_times.append(t)
+    assert baseline == recorded  # recording never perturbs the replay
+    t_bare, t_recorded = min(bare_times), min(recorded_times)
+    timeline_overhead = (t_recorded - t_bare) / t_bare
+    print(
+        f"  DES timeline: {t_bare * 1e3:.1f} ms bare vs "
+        f"{t_recorded * 1e3:.1f} ms recording {len(recorder)} events "
+        f"({timeline_overhead * 100:+.1f}%)"
+    )
+
+    emit_bench_json(
+        "obs_overhead",
+        {
+            "requests_per_round": len(requests),
+            "rounds": ROUNDS,
+            "warm_round_seconds_tracer_off": t_off,
+            "warm_round_seconds_tracer_on": t_on,
+            "per_request_us_tracer_off": per_request_off * 1e6,
+            "per_request_us_tracer_on": per_request_on * 1e6,
+            "tracing_overhead": overhead,
+            "tracing_overhead_budget": MAX_TRACING_OVERHEAD,
+            "timeline_replay_seconds_bare": t_bare,
+            "timeline_replay_seconds_recording": t_recorded,
+            "timeline_overhead": timeline_overhead,
+            "timeline_events": len(recorder),
+        },
+    )

@@ -68,6 +68,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple, TYPE_CHECKING
 
+from ..obs.timeline import TimelineRecorder
 from ..ppm.config import PPMConfig
 from ..serving.stats import percentile
 from ..sim.session import SimulationSession, session_for
@@ -335,6 +336,7 @@ def replay_trace(
     autoscaler=None,
     communication_times: Optional[CommunicationTimes] = None,
     router: RouterSpec = None,
+    timeline: Optional[TimelineRecorder] = None,
 ) -> ClusterReport:
     """Replay ``trace`` against ``fleet`` under ``scheduler``; emit a report.
 
@@ -357,6 +359,11 @@ def replay_trace(
     ``autoscaler`` accepts one :class:`~repro.cluster.control.Autoscaler`
     (applied independently to every worker group) or a sequence with one per
     group.
+
+    ``timeline`` attaches a :class:`~repro.obs.timeline.TimelineRecorder`
+    that captures the replay's event stream for Chrome trace-event /
+    Perfetto export.  Recording is append-only observation — the report is
+    bit-identical with or without it.
     """
     report, _ = replay_trace_outcomes(
         trace,
@@ -375,6 +382,7 @@ def replay_trace(
         autoscaler=autoscaler,
         communication_times=communication_times,
         router=router,
+        timeline=timeline,
     )
     return report
 
@@ -396,6 +404,7 @@ def replay_trace_outcomes(
     autoscaler=None,
     communication_times: Optional[CommunicationTimes] = None,
     router: RouterSpec = None,
+    timeline: Optional[TimelineRecorder] = None,
 ) -> Tuple[ClusterReport, Tuple[RequestOutcome, ...]]:
     """:func:`replay_trace` plus the per-request :class:`RequestOutcome` log."""
     if not 0.0 <= same_length_reuse_discount < 1.0:
@@ -482,6 +491,13 @@ def replay_trace_outcomes(
     group_of = fleet.worker_groups()
     num_workers = len(group_of)
     labels = fleet.group_labels()
+    if timeline is not None:
+        timeline.configure(
+            trace_name=trace.name,
+            fleet_name=fleet.name,
+            group_labels=labels,
+            group_of=tuple(group_of),
+        )
 
     events: List[Tuple[float, int, int, object]] = []
     counter = 0
@@ -579,6 +595,8 @@ def replay_trace_outcomes(
                 retries=attempts.get(request.id, 0),
             )
         )
+        if timeline is not None:
+            timeline.drop(now, request.id, reason)
 
     def dispatch(now: float) -> None:
         nonlocal counter, in_flight, pending_non_tick
@@ -659,6 +677,10 @@ def replay_trace_outcomes(
             )
             counter += 1
             pending_non_tick += 1
+            if timeline is not None:
+                timeline.dispatch(
+                    start, finish, worker, request.id, request.sequence_length
+                )
         # Reversed so repeated requeue-at-head restores the original order.
         for request in reversed(deferred):
             policy.requeue(request)
@@ -679,6 +701,10 @@ def replay_trace_outcomes(
             # restart long after the last request must not inflate it.
             last_time = max(last_time, time_now)
         if kind == _ARRIVAL:
+            if timeline is not None:
+                timeline.arrival(
+                    time_now, payload.id, payload.sequence_length, payload.priority
+                )
             if admission is not None and not admission.admits(
                 payload.priority, len(policy)
             ):
@@ -687,6 +713,8 @@ def replay_trace_outcomes(
                 policy.push(payload)
                 note_queued(payload, 1)
         elif kind == _RETRY:
+            if timeline is not None:
+                timeline.retry(time_now, payload.id)
             policy.push(payload)  # retries bypass admission: already accepted
             note_queued(payload, 1)
         elif kind == _COMPLETION:
@@ -724,6 +752,8 @@ def replay_trace_outcomes(
                     retries=attempts.get(request.id, 0),
                 )
             )
+            if timeline is not None:
+                timeline.complete(time_now, worker, request.id, met)
         elif kind == _CRASH:
             crash = payload
             w = crash.worker_id
@@ -731,12 +761,16 @@ def replay_trace_outcomes(
                 health[w] = WorkerHealth.DEAD
                 generation[w] += 1
                 down_since[w] = time_now
+                if timeline is not None:
+                    timeline.crash(time_now, w)
                 if w in idle:
                     idle.remove(w)
                 victim = running.pop(w, None)
                 if victim is not None:
                     request, start, finish = victim
                     in_flight -= 1
+                    if timeline is not None:
+                        timeline.abort(time_now, w, request.id)
                     busy_seconds[w] -= finish - time_now  # unserved remainder
                     detect = time_now + crash.detection_lag_seconds
                     used = attempts.get(request.id, 0)
@@ -772,6 +806,8 @@ def replay_trace_outcomes(
                 )
                 last_length[w] = None  # restarted cold: no shape to reuse
                 insort(idle, w)
+                if timeline is not None:
+                    timeline.recover(time_now, w)
         elif kind == _SCALE_UP:
             up_group = payload if payload is not None else 0
             pending_up[up_group] -= 1
@@ -786,7 +822,11 @@ def replay_trace_outcomes(
             active_count += 1
             peak_fleet = max(peak_fleet, active_count)
             insort(idle, w)
+            if timeline is not None:
+                timeline.scale_up(time_now, w, up_group)
         elif kind == _AUTOSCALE:
+            if timeline is not None:
+                timeline.autoscale(time_now)
             window = len(recent_met)
             attainment = sum(recent_met) / window if window else 1.0
             for gi_scale, scaler in enumerate(autoscalers):
@@ -834,6 +874,8 @@ def replay_trace_outcomes(
                             time_now - provision_start[w]
                         )
                         active_count -= 1
+                        if timeline is not None:
+                            timeline.retire(time_now, w)
             if pending_non_tick > 0 or len(policy) > 0 or in_flight > 0:
                 heapq.heappush(
                     events,
@@ -845,6 +887,8 @@ def replay_trace_outcomes(
         depth = len(policy)
         max_queue_depth = max(max_queue_depth, depth)
         queue_depth_sum += depth
+        if timeline is not None:
+            timeline.queue_depth(time_now, depth)
 
     makespan = last_time
     # Requests still queued were starved: every worker (routed mode: every

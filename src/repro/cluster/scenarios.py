@@ -58,6 +58,7 @@ from .trace import (
 )
 
 if TYPE_CHECKING:  # optional routing, kept import-cycle free
+    from ..obs.timeline import TimelineRecorder
     from ..serving.service import LatencyService
 
 
@@ -83,6 +84,7 @@ class ClusterScenario:
         dispatch_overhead_seconds: float = 0.0,
         same_length_reuse_discount: float = 0.0,
         router: RouterSpec = None,
+        timeline: Optional["TimelineRecorder"] = None,
     ) -> ClusterReport:
         report, _ = self.replay_outcomes(
             fleet,
@@ -94,6 +96,7 @@ class ClusterScenario:
             dispatch_overhead_seconds=dispatch_overhead_seconds,
             same_length_reuse_discount=same_length_reuse_discount,
             router=router,
+            timeline=timeline,
         )
         return report
 
@@ -108,6 +111,7 @@ class ClusterScenario:
         dispatch_overhead_seconds: float = 0.0,
         same_length_reuse_discount: float = 0.0,
         router: RouterSpec = None,
+        timeline: Optional["TimelineRecorder"] = None,
     ) -> Tuple[ClusterReport, Tuple[RequestOutcome, ...]]:
         return replay_trace_outcomes(
             self.trace,
@@ -124,6 +128,7 @@ class ClusterScenario:
             admission=self.admission,
             autoscaler=self.autoscaler,
             router=router,
+            timeline=timeline,
         )
 
     def config_digest(self) -> str:

@@ -1,0 +1,283 @@
+"""Prometheus text exposition (format 0.0.4): render and parse.
+
+:func:`render` turns a :class:`~repro.obs.metrics.MetricsRegistry` into the
+plain-text format every Prometheus-compatible scraper speaks::
+
+    # HELP repro_serving_requests_total Requests accepted by submit().
+    # TYPE repro_serving_requests_total counter
+    repro_serving_requests_total 1284
+    # TYPE repro_serving_request_duration_seconds histogram
+    repro_serving_request_duration_seconds_bucket{backend="h100",le="0.001"} 3
+    ...
+    repro_serving_request_duration_seconds_bucket{backend="h100",le="+Inf"} 41
+    repro_serving_request_duration_seconds_sum{backend="h100"} 0.93
+    repro_serving_request_duration_seconds_count{backend="h100"} 41
+
+:func:`parse` is the inverse — strict enough that the test suite uses it to
+*validate* what the HTTP front door serves (sample lines must lex, label
+escapes must round-trip, histogram series must be cumulative with the
+``+Inf`` bucket equal to ``_count``).  Values are rendered with ``repr``
+so floats survive a render -> parse round trip bit-exactly.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["render", "parse", "ParsedSample", "ParsedFamily", "PromParseError"]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class PromParseError(ValueError):
+    """Raised by :func:`parse` on text that is not valid exposition format."""
+
+
+# ------------------------------------------------------------------ render
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _label_str(names: Tuple[str, ...], values: Tuple[str, ...], extra: str = "") -> str:
+    pairs = [
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(names, values)
+    ]
+    if extra:
+        pairs.append(extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def render(registry: MetricsRegistry) -> str:
+    """Serialize every family in ``registry`` as exposition text."""
+    lines: List[str] = []
+    for family in registry.collect():
+        if family.help:
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for values, child in family.child_items():
+            if isinstance(child, Histogram):
+                cumulative = child.cumulative()
+                for bound, running in zip(child.bounds, cumulative):
+                    labels = _label_str(
+                        family.labelnames, values, f'le="{_format_value(bound)}"'
+                    )
+                    lines.append(
+                        f"{family.name}_bucket{labels} {running}"
+                    )
+                labels = _label_str(family.labelnames, values, 'le="+Inf"')
+                lines.append(f"{family.name}_bucket{labels} {cumulative[-1]}")
+                labels = _label_str(family.labelnames, values)
+                lines.append(f"{family.name}_sum{labels} {_format_value(child.sum)}")
+                lines.append(f"{family.name}_count{labels} {child.count}")
+            elif isinstance(child, (Counter, Gauge)):
+                labels = _label_str(family.labelnames, values)
+                lines.append(
+                    f"{family.name}{labels} {_format_value(child.value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+# ------------------------------------------------------------------- parse
+class ParsedSample:
+    """One sample line: ``name{labels} value``."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Dict[str, str], value: float):
+        self.name = name
+        self.labels = labels
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"ParsedSample({self.name!r}, {self.labels!r}, {self.value!r})"
+
+
+class ParsedFamily:
+    """All samples sharing one base metric name, plus TYPE/HELP metadata."""
+
+    __slots__ = ("name", "kind", "help", "samples")
+
+    def __init__(self, name: str, kind: Optional[str] = None, help: Optional[str] = None):
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.samples: List[ParsedSample] = []
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"\s*(?P<sep>,|$)'
+)
+_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _unescape_label_value(text: str) -> str:
+    out = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\":
+            if i + 1 >= len(text):
+                raise PromParseError(f"dangling escape in label value: {text!r}")
+            nxt = text[i + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt in ('"', "\\"):
+                out.append(nxt)
+            else:
+                raise PromParseError(f"bad escape \\{nxt} in label value")
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _parse_labels(raw: Optional[str]) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    if not raw:
+        return labels
+    pos = 0
+    while pos < len(raw):
+        match = _LABEL_PAIR_RE.match(raw, pos)
+        if match is None:
+            raise PromParseError(f"malformed label set: {{{raw}}}")
+        name = match.group("name")
+        if name in labels:
+            raise PromParseError(f"duplicate label {name!r}")
+        labels[name] = _unescape_label_value(match.group("value"))
+        pos = match.end()
+    return labels
+
+
+def _parse_value(raw: str) -> float:
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    if raw == "NaN":
+        return math.nan
+    try:
+        return float(raw)
+    except ValueError:
+        raise PromParseError(f"bad sample value: {raw!r}") from None
+
+
+def _base_name(sample_name: str, families: Dict[str, ParsedFamily]) -> str:
+    for suffix in _SUFFIXES:
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            family = families.get(base)
+            if family is not None and family.kind == "histogram":
+                return base
+    return sample_name
+
+
+def parse(text: str) -> Dict[str, ParsedFamily]:
+    """Parse exposition text into families; raise :class:`PromParseError`.
+
+    Beyond lexing, validates the invariants scrapers rely on: histogram
+    ``_bucket`` series are cumulative (non-decreasing in ``le`` order) and
+    the ``+Inf`` bucket equals the series ``_count``.
+    """
+    families: Dict[str, ParsedFamily] = {}
+    # Exposition format is newline-delimited only; str.splitlines would also
+    # split on control characters (\x1c-\x1e, \x85, ...) that are legal raw
+    # bytes inside a label value.
+    for lineno, line in enumerate(text.split("\n"), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP ") :].split(" ", 1)
+            name = parts[0]
+            family = families.setdefault(name, ParsedFamily(name))
+            family.help = parts[1] if len(parts) > 1 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE ") :].split()
+            if len(parts) != 2:
+                raise PromParseError(f"line {lineno}: malformed TYPE line")
+            name, kind = parts
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise PromParseError(f"line {lineno}: unknown metric type {kind!r}")
+            family = families.setdefault(name, ParsedFamily(name))
+            family.kind = kind
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise PromParseError(f"line {lineno}: malformed sample: {line!r}")
+        labels = _parse_labels(match.group("labels"))
+        value = _parse_value(match.group("value"))
+        sample = ParsedSample(match.group("name"), labels, value)
+        families.setdefault(
+            _base_name(sample.name, families), ParsedFamily(sample.name)
+        ).samples.append(sample)
+    _validate_histograms(families)
+    return families
+
+
+def _validate_histograms(families: Dict[str, ParsedFamily]) -> None:
+    for family in families.values():
+        if family.kind != "histogram":
+            continue
+        # Group this family's samples by their non-`le` label identity.
+        series: Dict[Tuple[Tuple[str, str], ...], Dict[str, object]] = {}
+        for sample in family.samples:
+            ident = tuple(
+                sorted((k, v) for k, v in sample.labels.items() if k != "le")
+            )
+            slot = series.setdefault(ident, {"buckets": [], "count": None})
+            if sample.name == family.name + "_bucket":
+                if "le" not in sample.labels:
+                    raise PromParseError(
+                        f"{family.name}: _bucket sample without le label"
+                    )
+                slot["buckets"].append(
+                    (_parse_value(sample.labels["le"]), sample.value)
+                )
+            elif sample.name == family.name + "_count":
+                slot["count"] = sample.value
+        for ident, slot in series.items():
+            buckets = sorted(slot["buckets"], key=lambda pair: pair[0])
+            if not buckets:
+                raise PromParseError(f"{family.name}: histogram with no buckets")
+            if not math.isinf(buckets[-1][0]):
+                raise PromParseError(f"{family.name}: missing +Inf bucket")
+            counts = [c for _, c in buckets]
+            if any(b > a for b, a in zip(counts, counts[1:])):
+                raise PromParseError(
+                    f"{family.name}: bucket counts not cumulative for {ident}"
+                )
+            if slot["count"] is not None and buckets[-1][1] != slot["count"]:
+                raise PromParseError(
+                    f"{family.name}: +Inf bucket != _count for {ident}"
+                )

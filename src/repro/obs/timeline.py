@@ -1,0 +1,353 @@
+"""DES timeline capture and Chrome trace-event (Perfetto) export.
+
+Pass ``timeline=TimelineRecorder()`` to
+:func:`repro.cluster.des.replay_trace` and the event loop appends one plain
+tuple per simulator event — arrivals, dispatches, completions, drops,
+crashes, recoveries, retries, scale-ups, retirements, autoscaler ticks and
+queue-depth samples.  Recording is strictly append-only and touches no
+replay state, so a replay with a recorder attached stays **bit-identical**
+to one without (the golden tests pin this).
+
+:meth:`TimelineRecorder.to_chrome_trace` lays the capture out in the Chrome
+trace-event JSON format — one lane (``tid``) per worker, a ``cluster`` lane
+for traffic-level instants, counter tracks for queue depth and fleet size —
+which ``chrome://tracing`` and https://ui.perfetto.dev open directly:
+
+1. ``timeline.write("replay.trace.json")``
+2. open https://ui.perfetto.dev -> "Open trace file"
+
+Service windows are "X" (complete) events; a crash truncates its victim's
+window at the crash instant and marks it ``aborted``.  Crash -> recover
+intervals render as ``down`` spans so dead capacity is visible as a gap.
+All timestamps are simulated seconds scaled to microseconds (the trace
+format's native unit).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["TimelineRecorder"]
+
+_PID = 0  # one simulated cluster == one "process" in the trace viewer
+_CLUSTER_TID = 0  # lane for traffic-level instants; workers are tid = id + 1
+
+
+class TimelineRecorder:
+    """Append-only capture of one replay's event stream.
+
+    Every record method is a single ``list.append`` of a tuple — cheap
+    enough to leave on, and (by construction) incapable of perturbing the
+    replay that feeds it.  One recorder captures one replay; attach a fresh
+    instance per call.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[Tuple] = []
+        self.trace_name = ""
+        self.fleet_name = ""
+        self.group_labels: Tuple[str, ...] = ()
+        self.base_group_of: Tuple[int, ...] = ()
+
+    # -- identity (called once by the replay before the loop) --------------
+    def configure(
+        self,
+        trace_name: str,
+        fleet_name: str,
+        group_labels: Sequence[str],
+        group_of: Sequence[int],
+    ) -> None:
+        self.trace_name = trace_name
+        self.fleet_name = fleet_name
+        self.group_labels = tuple(group_labels)
+        self.base_group_of = tuple(group_of)
+
+    # -- recording (hot path: one tuple append each) ------------------------
+    def arrival(self, t: float, request_id: int, length: int, priority: int) -> None:
+        self.events.append(("arrival", t, request_id, length, priority))
+
+    def dispatch(
+        self, start: float, finish: float, worker: int, request_id: int, length: int
+    ) -> None:
+        self.events.append(("dispatch", start, finish, worker, request_id, length))
+
+    def complete(self, t: float, worker: int, request_id: int, met: bool) -> None:
+        self.events.append(("complete", t, worker, request_id, met))
+
+    def drop(self, t: float, request_id: int, reason: str) -> None:
+        self.events.append(("drop", t, request_id, reason))
+
+    def crash(self, t: float, worker: int) -> None:
+        self.events.append(("crash", t, worker))
+
+    def abort(self, t: float, worker: int, request_id: int) -> None:
+        self.events.append(("abort", t, worker, request_id))
+
+    def recover(self, t: float, worker: int) -> None:
+        self.events.append(("recover", t, worker))
+
+    def retry(self, t: float, request_id: int) -> None:
+        self.events.append(("retry", t, request_id))
+
+    def scale_up(self, t: float, worker: int, group: int) -> None:
+        self.events.append(("scale_up", t, worker, group))
+
+    def retire(self, t: float, worker: int) -> None:
+        self.events.append(("retire", t, worker))
+
+    def autoscale(self, t: float) -> None:
+        self.events.append(("autoscale", t))
+
+    def queue_depth(self, t: float, depth: int) -> None:
+        self.events.append(("queue_depth", t, depth))
+
+    # -- reads --------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def event_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event[0]] = counts.get(event[0], 0) + 1
+        return counts
+
+    # -- export -------------------------------------------------------------
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """The capture as a Chrome trace-event JSON object (Perfetto-ready)."""
+        us = lambda t: round(t * 1e6, 3)  # noqa: E731 - trace-native microseconds
+        out: List[Dict[str, Any]] = []
+        worker_group: Dict[int, int] = dict(enumerate(self.base_group_of))
+        known_workers = set(worker_group)
+
+        def lane(worker: int) -> int:
+            return worker + 1
+
+        # First pass: aborts (to truncate their dispatch windows), dynamic
+        # workers, crash/recover pairings, and the capture's end time.
+        aborts: List[Tuple[float, int, int]] = []  # (t, worker, request_id)
+        down_open: Dict[int, float] = {}
+        down_spans: List[Tuple[int, float, Optional[float]]] = []
+        end_time = 0.0
+        for event in self.events:
+            kind, t = event[0], event[1]
+            end_time = max(end_time, t)
+            if kind == "dispatch":
+                end_time = max(end_time, event[2])
+                known_workers.add(event[3])
+            elif kind == "abort":
+                aborts.append((t, event[2], event[3]))
+            elif kind == "crash":
+                down_open.setdefault(event[2], t)
+            elif kind == "recover":
+                start = down_open.pop(event[2], None)
+                if start is not None:
+                    down_spans.append((event[2], start, t))
+            elif kind == "scale_up":
+                known_workers.add(event[2])
+                worker_group[event[2]] = event[3]
+        for worker, start in down_open.items():
+            down_spans.append((worker, start, None))  # dead through the end
+
+        # Lane metadata: names and a stable top-to-bottom order.
+        out.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": _PID,
+                "args": {"name": f"{self.fleet_name or 'fleet'} x {self.trace_name or 'trace'}"},
+            }
+        )
+        out.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": _CLUSTER_TID,
+                "args": {"name": "cluster"},
+            }
+        )
+        for worker in sorted(known_workers):
+            group = worker_group.get(worker)
+            label = (
+                self.group_labels[group]
+                if group is not None and group < len(self.group_labels)
+                else "scaled"
+            )
+            out.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": _PID,
+                    "tid": lane(worker),
+                    "args": {"name": f"worker {worker} [{label}]"},
+                }
+            )
+        for tid in [_CLUSTER_TID] + [lane(w) for w in sorted(known_workers)]:
+            out.append(
+                {
+                    "name": "thread_sort_index",
+                    "ph": "M",
+                    "pid": _PID,
+                    "tid": tid,
+                    "args": {"sort_index": tid},
+                }
+            )
+
+        abort_pool = list(aborts)
+        for event in self.events:
+            kind = event[0]
+            if kind == "dispatch":
+                _, start, finish, worker, request_id, length = event
+                aborted_at: Optional[float] = None
+                for i, (at, aw, arid) in enumerate(abort_pool):
+                    if aw == worker and arid == request_id and start <= at <= finish:
+                        aborted_at = at
+                        abort_pool.pop(i)
+                        break
+                shown_end = aborted_at if aborted_at is not None else finish
+                args = {"request": request_id, "length": length}
+                if aborted_at is not None:
+                    args["aborted"] = True
+                out.append(
+                    {
+                        "name": f"req {request_id} (n={length})",
+                        "cat": "service",
+                        "ph": "X",
+                        "pid": _PID,
+                        "tid": lane(worker),
+                        "ts": us(start),
+                        "dur": max(0.0, us(shown_end) - us(start)),
+                        "args": args,
+                    }
+                )
+            elif kind == "arrival":
+                _, t, request_id, length, priority = event
+                out.append(
+                    {
+                        "name": "arrival",
+                        "cat": "traffic",
+                        "ph": "i",
+                        "s": "t",
+                        "pid": _PID,
+                        "tid": _CLUSTER_TID,
+                        "ts": us(t),
+                        "args": {
+                            "request": request_id,
+                            "length": length,
+                            "priority": priority,
+                        },
+                    }
+                )
+            elif kind == "drop":
+                _, t, request_id, reason = event
+                out.append(
+                    {
+                        "name": f"drop ({reason})",
+                        "cat": "traffic",
+                        "ph": "i",
+                        "s": "t",
+                        "pid": _PID,
+                        "tid": _CLUSTER_TID,
+                        "ts": us(t),
+                        "args": {"request": request_id, "reason": reason},
+                    }
+                )
+            elif kind == "retry":
+                _, t, request_id = event
+                out.append(
+                    {
+                        "name": "retry",
+                        "cat": "traffic",
+                        "ph": "i",
+                        "s": "t",
+                        "pid": _PID,
+                        "tid": _CLUSTER_TID,
+                        "ts": us(t),
+                        "args": {"request": request_id},
+                    }
+                )
+            elif kind in ("crash", "recover", "retire"):
+                t, worker = event[1], event[2]
+                out.append(
+                    {
+                        "name": kind,
+                        "cat": "fleet",
+                        "ph": "i",
+                        "s": "t",
+                        "pid": _PID,
+                        "tid": lane(worker),
+                        "ts": us(t),
+                        "args": {"worker": worker},
+                    }
+                )
+            elif kind == "scale_up":
+                _, t, worker, group = event
+                out.append(
+                    {
+                        "name": "scale up",
+                        "cat": "fleet",
+                        "ph": "i",
+                        "s": "t",
+                        "pid": _PID,
+                        "tid": lane(worker),
+                        "ts": us(t),
+                        "args": {"worker": worker, "group": group},
+                    }
+                )
+            elif kind == "autoscale":
+                out.append(
+                    {
+                        "name": "autoscale tick",
+                        "cat": "fleet",
+                        "ph": "i",
+                        "s": "t",
+                        "pid": _PID,
+                        "tid": _CLUSTER_TID,
+                        "ts": us(event[1]),
+                        "args": {},
+                    }
+                )
+            elif kind == "queue_depth":
+                _, t, depth = event
+                out.append(
+                    {
+                        "name": "queue depth",
+                        "ph": "C",
+                        "pid": _PID,
+                        "tid": _CLUSTER_TID,
+                        "ts": us(t),
+                        "args": {"depth": depth},
+                    }
+                )
+        for worker, start, stop in down_spans:
+            out.append(
+                {
+                    "name": "down",
+                    "cat": "fleet",
+                    "ph": "X",
+                    "pid": _PID,
+                    "tid": lane(worker),
+                    "ts": us(start),
+                    "dur": max(0.0, us(stop if stop is not None else end_time) - us(start)),
+                    "args": {"worker": worker, "recovered": stop is not None},
+                }
+            )
+        return {
+            "traceEvents": out,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "trace": self.trace_name,
+                "fleet": self.fleet_name,
+                "groups": list(self.group_labels),
+                "events_recorded": len(self.events),
+            },
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_chrome_trace(), sort_keys=True)
+
+    def write(self, path: str) -> None:
+        """Write the Chrome trace JSON to ``path`` (open it in Perfetto)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())

@@ -107,6 +107,12 @@ class LatencyRequest:
     back to FIFO — the same semantics the cluster simulator's EDF scheduler
     applies to a :class:`repro.cluster.trace.Request`.  Both default to the
     neutral values (0, ``None``), which preserve strict FIFO dispatch.
+
+    ``trace_id`` is the client's distributed-tracing ID: when the service
+    has a :class:`~repro.obs.tracing.Tracer`, the request's server-side
+    spans are recorded under this ID (so a front-door client's trace
+    continues inside the service and ``GET /v1/trace/<id>`` finds it).
+    ``None`` lets the service key the spans by ticket ID instead.
     """
 
     backend: Any = "lightnobel"
@@ -114,12 +120,15 @@ class LatencyRequest:
     include_recycles: Optional[bool] = None
     priority: int = 0
     deadline_seconds: Optional[float] = None
+    trace_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         if int(self.sequence_length) <= 0:
             raise ValueError("sequence_length must be positive")
         if self.deadline_seconds is not None and float(self.deadline_seconds) <= 0:
             raise ValueError("deadline_seconds must be positive (or None)")
+        if self.trace_id is not None and not str(self.trace_id):
+            raise ValueError("trace_id must be a non-empty string (or None)")
 
 
 @dataclass(frozen=True)
@@ -168,6 +177,9 @@ class RequestLogRecord:
     trace convention exactly.  ``outcome`` is ``"ok"`` or ``"error"``;
     ``queue_seconds``/``service_seconds`` record what the live service
     actually delivered, for comparing a replay against reality.
+    ``trace_id`` is the client-supplied tracing ID, when one rode in on the
+    request (``None`` for untraced requests, whose spans — if the service
+    traces at all — are keyed by ``ticket_id``).
     """
 
     ticket_id: int
@@ -180,6 +192,7 @@ class RequestLogRecord:
     coalesced: bool = False
     queue_seconds: float = 0.0
     service_seconds: float = 0.0
+    trace_id: Optional[str] = None
 
     @property
     def ok(self) -> bool:

@@ -15,6 +15,7 @@ import json
 import signal
 import sys
 
+from ...obs.tracing import Tracer
 from ...ppm.config import PPMConfig
 from .server import LatencyFrontDoor
 
@@ -48,6 +49,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--drain-timeout-seconds", type=float, default=120.0)
     parser.add_argument("--claim-grace-seconds", type=float, default=2.0)
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record per-request span trees, served at GET /v1/trace/<id>",
+    )
+    parser.add_argument(
+        "--trace-max-traces",
+        type=int,
+        default=1024,
+        help="bound on held traces before FIFO eviction (with --trace)",
+    )
     return parser
 
 
@@ -64,6 +76,7 @@ async def _serve(args: argparse.Namespace) -> int:
         ppm_config=_PPM_PRESETS[args.ppm](),
         workers=args.workers,
         length_bucket_size=args.length_bucket_size,
+        tracer=Tracer(max_traces=args.trace_max_traces) if args.trace else None,
     )
     await door.start()
     print(f"listening {door.host} {door.port}", flush=True)

@@ -74,19 +74,27 @@ class FrontDoorClient:
 
     # ------------------------------------------------------------- raw request
     async def request(
-        self, method: str, path: str, body: Optional[bytes] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Dict[str, str], bytes]:
         """One request/response on the keep-alive connection (reconnects once)."""
         await self.connect()
         try:
-            return await self._roundtrip(method, path, body)
+            return await self._roundtrip(method, path, body, headers)
         except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
             await self.close()
             await self.connect()
-            return await self._roundtrip(method, path, body)
+            return await self._roundtrip(method, path, body, headers)
 
     async def _roundtrip(
-        self, method: str, path: str, body: Optional[bytes]
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Dict[str, str], bytes]:
         assert self._reader is not None and self._writer is not None
         payload = body or b""
@@ -94,8 +102,11 @@ class FrontDoorClient:
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {self.host}:{self.port}\r\n"
             f"Content-Type: application/json\r\n"
-            f"Content-Length: {len(payload)}\r\n\r\n"
+            f"Content-Length: {len(payload)}\r\n"
         )
+        for name, value in (headers or {}).items():
+            head += f"{name}: {value}\r\n"
+        head += "\r\n"
         self._writer.write(head.encode("latin-1") + payload)
         await self._writer.drain()
         return await _read_response(self._reader)
@@ -188,6 +199,18 @@ class FrontDoorClient:
 
     async def metrics(self) -> Dict[str, Any]:
         _status, payload = await self._json("GET", "/metrics")
+        return payload
+
+    async def metrics_prometheus(self) -> str:
+        """GET /metrics?format=prom — raw Prometheus text exposition."""
+        status, _headers, raw = await self.request("GET", "/metrics?format=prom")
+        if status != 200:
+            raise FrontDoorError(status, ErrorBody.from_json(raw.decode("utf-8")))
+        return raw.decode("utf-8")
+
+    async def trace(self, trace_id: Union[str, int]) -> Dict[str, Any]:
+        """GET /v1/trace/<id> — the recorded span tree (raises 404 via FrontDoorError)."""
+        _status, payload = await self._json("GET", f"/v1/trace/{trace_id}")
         return payload
 
     async def healthz(self) -> Dict[str, Any]:

@@ -21,9 +21,13 @@ one service:
   NDJSON in completion order),
 * **observability** — ``/metrics`` exposes the full
   :class:`~repro.serving.stats.ServiceStats` snapshot plus the HTTP layer's
-  own counters; ``/healthz`` for probes; ``/v1/log`` exports the structured
+  own counters (``?format=prom`` renders Prometheus text exposition
+  instead); ``/healthz`` for probes; ``/v1/log`` exports the structured
   request log, ready for
-  :meth:`repro.cluster.trace.RequestTrace.from_serving_log`,
+  :meth:`repro.cluster.trace.RequestTrace.from_serving_log`; when the
+  service carries a :class:`~repro.obs.tracing.Tracer`, requests are traced
+  under their body ``trace_id`` (or the ``X-Trace-Id`` header — body wins)
+  and ``GET /v1/trace/<id>`` returns the recorded span tree,
 * **clean shutdown** — :meth:`LatencyFrontDoor.shutdown` stops admitting
   (503 ``"draining"``), waits for every in-flight ticket to fulfill, gives
   clients a claim grace window, and reports exactly what happened
@@ -45,9 +49,11 @@ Endpoints (all bodies JSON, see :mod:`repro.serving.wire`):
                             (``?wait_seconds=`` long-polls)
 ``GET /v1/stream``          ``?tickets=1,2,3`` -> chunked NDJSON, completion order
 ``GET /v1/log``             structured request log (wire format)
+``GET /v1/trace/<id>``      recorded span tree for one trace | 404
 ``POST /v1/reap``           reap fulfilled-but-unclaimed tickets -> 410 afterwards
-``GET /metrics``            service + HTTP counters
-``GET /healthz``            200 ok | 503 draining
+``GET /metrics``            service + HTTP counters (``?format=prom`` for
+                            Prometheus text exposition)
+``GET /healthz``            200 ok | 503 draining (+ version, schema_version)
 ==========================  ====================================================
 """
 
@@ -57,10 +63,13 @@ import asyncio
 import json
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from ... import __version__
+from ...obs import prom
+from ...obs.metrics import Gauge, MetricsRegistry
 from ..service import LatencyService
 from ..wire import (
     SCHEMA_VERSION,
@@ -480,8 +489,10 @@ class LatencyFrontDoor:
                 return _Response(
                     200, request_log_to_json(self.service.request_log()).encode("utf-8")
                 )
+            if request.method == "GET" and request.path.startswith("/v1/trace/"):
+                return self._handle_trace(request)
             if request.method == "GET" and request.path == "/metrics":
-                return self._handle_metrics()
+                return self._handle_metrics(request)
             if request.method == "GET" and request.path == "/healthz":
                 return self._handle_healthz()
         except WireFormatError as exc:
@@ -490,8 +501,25 @@ class LatencyFrontDoor:
             return self._error(400, "invalid_request", str(exc))
         return self._error(404, "not_found", f"no route {request.method} {request.path}")
 
+    @staticmethod
+    def _with_trace(wire_request: WireRequest, request: _HttpRequest) -> WireRequest:
+        """Fold the ``X-Trace-Id`` header into the request; the body wins."""
+        if wire_request.trace_id is not None:
+            return wire_request
+        header = request.headers.get("x-trace-id", "").strip()
+        if not header:
+            return wire_request
+        return replace(wire_request, trace_id=header)
+
+    @staticmethod
+    def _trace_headers(wire_request: WireRequest) -> Tuple[Tuple[str, str], ...]:
+        """Echo the effective trace id back so clients can correlate."""
+        if wire_request.trace_id is None:
+            return ()
+        return (("X-Trace-Id", wire_request.trace_id),)
+
     def _handle_submit(self, request: _HttpRequest) -> _Response:
-        wire_request = WireRequest.from_json(request.body)
+        wire_request = self._with_trace(WireRequest.from_json(request.body), request)
         rejected = self._admit(wire_request)
         if rejected is not None:
             return rejected
@@ -505,6 +533,7 @@ class LatencyFrontDoor:
                     "tenant": wire_request.tenant,
                 }
             ),
+            headers=self._trace_headers(wire_request),
         )
 
     def _handle_batch(self, request: _HttpRequest) -> _Response:
@@ -513,7 +542,10 @@ class LatencyFrontDoor:
             raise WireFormatError(
                 "invalid_field", 'batch body must be {"requests": [WireRequest, ...]}'
             )
-        wire_requests = [WireRequest.from_dict(item) for item in payload["requests"]]
+        wire_requests = [
+            self._with_trace(WireRequest.from_dict(item), request)
+            for item in payload["requests"]
+        ]
         if not wire_requests:
             raise WireFormatError("invalid_field", "batch must contain at least one request")
         # All-or-nothing admission per tenant: a half-admitted batch would
@@ -532,7 +564,7 @@ class LatencyFrontDoor:
         )
 
     async def _handle_query(self, request: _HttpRequest) -> _Response:
-        wire_request = WireRequest.from_json(request.body)
+        wire_request = self._with_trace(WireRequest.from_json(request.body), request)
         rejected = self._admit(wire_request)
         if rejected is not None:
             return rejected
@@ -556,7 +588,11 @@ class LatencyFrontDoor:
         response = self._consume(ticket_id)
         if response is None:
             return self._error(404, "already_consumed", f"ticket {ticket_id} already claimed")
-        return _Response(200, response.to_json().encode("utf-8"))
+        return _Response(
+            200,
+            response.to_json().encode("utf-8"),
+            headers=self._trace_headers(wire_request),
+        )
 
     async def _handle_result(self, request: _HttpRequest) -> _Response:
         try:
@@ -602,7 +638,43 @@ class LatencyFrontDoor:
             200, _json_bytes({"schema_version": SCHEMA_VERSION, "reaped": reaped})
         )
 
-    def _handle_metrics(self) -> _Response:
+    def _handle_trace(self, request: _HttpRequest) -> _Response:
+        raw = request.path.rsplit("/", 1)[1]
+        tracer = getattr(self.service, "tracer", None)
+        if tracer is None:
+            return self._error(
+                404, "tracing_disabled", "service has no tracer attached"
+            )
+        key = tracer.find(raw)
+        if key is None:
+            return self._error(404, "unknown_trace", f"no trace {raw!r}")
+        payload = tracer.to_dict(key)
+        payload["schema_version"] = SCHEMA_VERSION
+        return _Response(200, _json_bytes(payload))
+
+    def _http_gauges(self, registry: "MetricsRegistry") -> None:
+        """Contribute the front door's own counters to a scrape registry."""
+        rows = (
+            ("pending", "Submitted tickets not yet fulfilled.",
+             sum(1 for t in self._tickets.values() if not t.event.is_set())),
+            ("fulfilled_unclaimed", "Fulfilled tickets awaiting a claim.",
+             sum(1 for t in self._tickets.values() if t.event.is_set())),
+            ("consumed_total", "Tickets claimed by clients.", self._consumed_count),
+            ("reaped_total", "Fulfilled-but-unclaimed tickets reaped.", self._reaped_count),
+            ("draining", "1 while the server is draining.", int(self._draining)),
+        )
+        for suffix, help_text, value in rows:
+            Gauge(f"repro_http_{suffix}", help_text, registry=registry).set(float(value))
+
+    def _handle_metrics(self, request: _HttpRequest) -> _Response:
+        if request.param("format") == "prom":
+            registry = self.service.stats.fill_metrics(MetricsRegistry())
+            self._http_gauges(registry)
+            return _Response(
+                200,
+                prom.render(registry).encode("utf-8"),
+                content_type=prom.CONTENT_TYPE,
+            )
         snapshot = self.service.stats.snapshot()
         snapshot["backends"] = {
             name: backend_stats_to_dict(row)
@@ -634,6 +706,7 @@ class LatencyFrontDoor:
                 "schema_version": SCHEMA_VERSION,
                 "status": status,
                 "uptime_seconds": time.perf_counter() - self._started_at,
+                "version": __version__,
             }
         )
         return _Response(503 if self._draining else 200, body)

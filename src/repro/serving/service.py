@@ -49,6 +49,7 @@ from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple, Union
 from .._digest import stable_digest
 from ..gpu.gpu_config import GPUS, GPUSpec
 from ..hardware.config import LightNobelConfig
+from ..obs.tracing import Tracer
 from ..ppm.config import PPMConfig
 from ..sim.backend import (
     AcceleratorVariant,
@@ -189,6 +190,10 @@ class _Job:
     deadline: Optional[float] = None
     #: True while the job sits in the pending queue (dispatch bookkeeping).
     queued: bool = True
+    #: Which execution path priced this job ("memo-hit", "pool-dispatch",
+    #: "stacked-simulate", "simulate", "error") — the span name tracing gives
+    #: the execution window of every non-coalesced ticket.
+    path: str = "simulate"
     tickets: List[_Ticket] = field(default_factory=list)
 
     def dispatch_key(self) -> Tuple[int, float, int]:
@@ -221,6 +226,13 @@ class LatencyService:
     module docstring.  Results are bit-identical to per-length simulation, so
     the bucket width is purely a batching-granularity knob.
 
+    ``tracer`` switches on per-request span tracing: every fulfilled ticket
+    records a root ``request`` span with ``queue-wait``, an execution span
+    named after the path that priced it (``memo-hit`` / ``pool-dispatch`` /
+    ``stacked-simulate`` / ``simulate``, or ``coalesce`` for tickets that
+    attached to an in-flight duplicate) and a ``fulfill`` span, keyed by the
+    client's ``trace_id`` or the ticket id (see :mod:`repro.obs.tracing`).
+
     The dispatcher thread starts lazily on first submit (``autostart=True``)
     or explicitly via :meth:`start` — tests submit with ``autostart=False``
     to stage a concurrent batch deterministically.  The service is a context
@@ -241,6 +253,7 @@ class LatencyService:
         autostart: bool = True,
         length_bucket_size: Optional[int] = None,
         request_log_limit: Optional[int] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if session is not None:
             if ppm_config is not None and ppm_config != session.ppm_config:
@@ -275,6 +288,11 @@ class LatencyService:
         #: Shape-bucket width for stacked batch admission (None = one bucket).
         self.length_bucket_size = length_bucket_size
         self.stats = ServiceStats(request_log_limit=request_log_limit)
+        #: Optional per-request span tracing (:mod:`repro.obs.tracing`).
+        #: ``None`` keeps the hot path untouched; a disabled tracer records
+        #: nothing.  Spans are keyed by ``request.trace_id`` when the client
+        #: supplied one, else by the integer ticket id.
+        self.tracer = tracer
 
         self._cond = threading.Condition()
         self._session_lock = threading.RLock()
@@ -653,9 +671,11 @@ class LatencyService:
                     )
                 except Exception as exc:  # bad spec: resolution itself failed
                     results[job.key] = (None, str(exc), False)
+                    job.path = "error"
                     continue
                 if report is not None:
                     results[job.key] = (report, None, True)
+                    job.path = "memo-hit"
                 elif (
                     self.workers is not None
                     and self.workers > 1
@@ -690,6 +710,7 @@ class LatencyService:
     def _simulate_serial(
         self, job: _Job
     ) -> Tuple[Optional[SimReport], Optional[str], bool]:
+        job.path = "simulate"
         try:
             report = self.session.simulate(
                 job.sequence_length,
@@ -730,6 +751,7 @@ class LatencyService:
         self.stats.record_stacked(batches=1, points=len(lengths))
         for job in jobs:
             results[job.key] = (reports[job.sequence_length], None, False)
+            job.path = "stacked-simulate"
 
     def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
         """The long-lived worker pool, created lazily (``None`` if unavailable)."""
@@ -807,6 +829,7 @@ class LatencyService:
                 except Exception:
                     pass
                 results[job.key] = (report, None, False)
+                job.path = "pool-dispatch"
 
     def _fulfill(
         self,
@@ -816,6 +839,8 @@ class LatencyService:
     ) -> None:
         end = time.perf_counter()
         fulfilled: List[int] = []
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
         with self._cond:
             for job in jobs:
                 report, error, memo_hit = results.get(
@@ -859,8 +884,37 @@ class LatencyService:
                             coalesced=ticket.coalesced,
                             queue_seconds=ticket.response.queue_seconds,
                             service_seconds=ticket.response.service_seconds,
+                            trace_id=ticket.request.trace_id,
                         )
                     )
+                    if tracing:
+                        # One pre-built batch per ticket (root + 3 children),
+                        # recorded before done.set() so a waiter that wakes on
+                        # the event always finds its trace complete.
+                        exec_name = "coalesce" if ticket.coalesced else job.path
+                        tracer.record_batch(
+                            ticket.request.trace_id or ticket.id,
+                            (
+                                (
+                                    "request",
+                                    ticket.submitted_at,
+                                    end,
+                                    {
+                                        "ticket_id": ticket.id,
+                                        "backend": label,
+                                        "sequence_length": (
+                                            ticket.request.sequence_length
+                                        ),
+                                        "coalesced": ticket.coalesced,
+                                        "path": exec_name,
+                                        "ok": error is None,
+                                    },
+                                ),
+                                ("queue-wait", ticket.submitted_at, started, None),
+                                (exec_name, started, end, None),
+                                ("fulfill", end, time.perf_counter(), None),
+                            ),
+                        )
                     if ticket.abandoned:
                         # Every waiter gave up before this completion landed:
                         # count it so operators can see late work, and leave

@@ -1,11 +1,20 @@
-"""Thread-safe service accounting: hit rates, queue depth, latency percentiles.
+"""Thread-safe service accounting: hit rates, queue depth, latency histograms.
 
 One :class:`ServiceStats` instance lives inside every
 :class:`~repro.serving.service.LatencyService`.  Submission-side counters are
 updated under the service lock by client threads; fulfillment-side counters
-and the per-backend latency reservoirs are updated by the dispatcher.  All
+and the per-backend latency histograms are updated by the dispatcher.  All
 reads go through :meth:`ServiceStats.snapshot`, which copies under the lock,
 so callers never observe a torn update.
+
+Latency distributions are :class:`repro.obs.metrics.Histogram` families with
+fixed exponential buckets — **constant memory per backend** no matter how
+many requests flow through (the old per-backend sample reservoirs grew a
+2048-deque each and answered percentiles from a sampled window; the
+histograms answer from every observation ever made, at bounded-relative-error
+bucket resolution with exact min/max edges).  :meth:`ServiceStats.fill_metrics`
+contributes everything here to a :class:`~repro.obs.metrics.MetricsRegistry`
+for Prometheus exposition (``/metrics?format=prom``).
 """
 
 from __future__ import annotations
@@ -15,12 +24,18 @@ import threading
 from collections import deque
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
+from ..obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exponential_buckets,
+)
 from .api import BackendServiceStats, RequestLogRecord
 
-#: Per-backend latency samples kept for percentile estimation.  Old samples
-#: fall out FIFO, so long-lived services report *recent* p50/p99, not the
-#: all-time distribution.
-RESERVOIR_SIZE = 2048
+#: Bucket ladder for service-latency histograms: 1 µs doubling to ~9 min,
+#: wide enough for memo hits and cold multi-minute simulations alike.
+SERVICE_LATENCY_BUCKETS = exponential_buckets(start=1e-6, factor=2.0, count=40)
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -46,38 +61,20 @@ def percentile(values: Sequence[float], q: float) -> float:
     return ordered[min(rank, len(ordered)) - 1]
 
 
-class LatencyReservoir:
-    """Bounded FIFO of latency samples plus running count/total."""
-
-    def __init__(self, maxlen: int = RESERVOIR_SIZE) -> None:
-        self.samples: Deque[float] = deque(maxlen=maxlen)
-        self.count = 0
-        self.total = 0.0
-
-    def record(self, seconds: float) -> None:
-        self.samples.append(float(seconds))
-        self.count += 1
-        self.total += float(seconds)
-
-    def summary(self, backend: str) -> BackendServiceStats:
-        samples = list(self.samples)
-        return BackendServiceStats(
-            backend=backend,
-            requests=self.count,
-            mean_seconds=self.total / self.count if self.count else 0.0,
-            p50_seconds=percentile(samples, 50.0),
-            p99_seconds=percentile(samples, 99.0),
-        )
-
-
 class ServiceStats:
-    """Counters and reservoirs behind :meth:`LatencyService.capacity_report`.
+    """Counters and histograms behind :meth:`LatencyService.capacity_report`.
 
     ``request_log_limit`` bounds the structured per-request log (oldest
     records fall out FIFO); ``None`` keeps every record — the right setting
     when the log will be exported as a :class:`~repro.cluster.trace.RequestTrace`
     for cluster replay, where a truncated trace would misrepresent the
     traffic.
+
+    The latency histogram family is *private* to this instance (not in the
+    process-wide :data:`repro.obs.metrics.REGISTRY`): many services live in
+    one test process, and registering each would collide on the metric name.
+    :meth:`fill_metrics` contributes it to a caller-supplied registry at
+    scrape time instead.
     """
 
     def __init__(self, request_log_limit: Optional[int] = None) -> None:
@@ -97,7 +94,13 @@ class ServiceStats:
         self.pool_rebuilds = 0
         self.stacked_batches = 0
         self.stacked_points = 0
-        self._backends: Dict[str, LatencyReservoir] = {}
+        self._latency = Histogram(
+            "repro_serving_request_duration_seconds",
+            "Submit-to-fulfillment service time, by backend.",
+            labelnames=("backend",),
+            buckets=SERVICE_LATENCY_BUCKETS,
+        )
+        self._backends: Dict[str, Histogram] = {}
         self._request_log: Deque[RequestLogRecord] = deque(maxlen=request_log_limit)
 
     # ------------------------------------------------------------- submission
@@ -129,10 +132,12 @@ class ServiceStats:
                 self.errors += 1
             if memo_hit:
                 self.memo_hits += 1
-            reservoir = self._backends.get(backend)
-            if reservoir is None:
-                reservoir = self._backends[backend] = LatencyReservoir()
-            reservoir.record(service_seconds)
+            histogram = self._backends.get(backend)
+            if histogram is None:
+                histogram = self._backends[backend] = self._latency.labels(
+                    backend=backend
+                )
+        histogram.observe(float(service_seconds))
 
     def record_simulations(self, count: int) -> None:
         with self._lock:
@@ -177,16 +182,24 @@ class ServiceStats:
                 return 0.0
             return (self.coalesced + self.memo_hits) / self.completed
 
+    def _summary(self, name: str, histogram: Histogram) -> BackendServiceStats:
+        return BackendServiceStats(
+            backend=name,
+            requests=histogram.count,
+            mean_seconds=histogram.mean,
+            p50_seconds=histogram.quantile(50.0),
+            p99_seconds=histogram.quantile(99.0),
+        )
+
     def backend_summaries(self) -> List[BackendServiceStats]:
         with self._lock:
-            return [
-                reservoir.summary(name)
-                for name, reservoir in sorted(self._backends.items())
-            ]
+            backends = sorted(self._backends.items())
+        return [self._summary(name, histogram) for name, histogram in backends]
 
     def snapshot(self) -> Dict[str, object]:
         with self._lock:
-            return {
+            backends = dict(self._backends)
+            out: Dict[str, object] = {
                 "submitted": self.submitted,
                 "completed": self.completed,
                 "errors": self.errors,
@@ -202,8 +215,64 @@ class ServiceStats:
                 "pool_rebuilds": self.pool_rebuilds,
                 "stacked_batches": self.stacked_batches,
                 "stacked_points": self.stacked_points,
-                "backends": {
-                    name: reservoir.summary(name)
-                    for name, reservoir in self._backends.items()
-                },
             }
+        out["backends"] = {
+            name: self._summary(name, histogram)
+            for name, histogram in backends.items()
+        }
+        return out
+
+    # ------------------------------------------------------------- exposition
+    def fill_metrics(self, registry: MetricsRegistry) -> MetricsRegistry:
+        """Contribute every counter plus the live latency family to ``registry``.
+
+        Counters and gauges are materialized fresh from the current values
+        (they are plain ints on the hot path; typed metric objects would buy
+        nothing but lock traffic), while the histogram family is registered
+        live — its buckets are already exposition-shaped.
+        """
+        with self._lock:
+            values = (
+                ("requests_submitted_total", Counter, self.submitted,
+                 "Requests accepted by submit()."),
+                ("requests_completed_total", Counter, self.completed,
+                 "Requests fulfilled (ok or error)."),
+                ("errors_total", Counter, self.errors,
+                 "Requests fulfilled with an error."),
+                ("coalesced_total", Counter, self.coalesced,
+                 "Requests attached to an in-flight duplicate."),
+                ("memo_hits_total", Counter, self.memo_hits,
+                 "Requests answered from the session memo."),
+                ("simulations_total", Counter, self.simulations,
+                 "Fresh simulator runs."),
+                ("batches_total", Counter, self.batches,
+                 "Dispatcher execution batches."),
+                ("busy_seconds_total", Counter, self.busy_seconds,
+                 "Dispatcher busy time, seconds."),
+                ("timeouts_total", Counter, self.timeouts,
+                 "result() calls that gave up waiting."),
+                ("late_results_total", Counter, self.late_results,
+                 "Requests completed after every waiter timed out."),
+                ("pool_rebuilds_total", Counter, self.pool_rebuilds,
+                 "Worker-pool rebuilds after a pool failure."),
+                ("stacked_batches_total", Counter, self.stacked_batches,
+                 "Shape-bucketed batches priced in one stacked pass."),
+                ("stacked_points_total", Counter, self.stacked_points,
+                 "(backend, length) points covered by stacked passes."),
+                ("queue_depth", Gauge, self.queue_depth,
+                 "Requests queued right now."),
+                ("peak_queue_depth", Gauge, self.peak_queue_depth,
+                 "High-water queue depth."),
+            )
+        for suffix, kind, value, help_text in values:
+            metric = kind(f"repro_serving_{suffix}", help_text, registry=registry)
+            if kind is Counter:
+                metric.inc(float(value))
+            else:
+                metric.set(float(value))
+        registry.register(self._latency)
+        return registry
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """A fresh registry holding this service's metrics (scrape-time view)."""
+        return self.fill_metrics(MetricsRegistry())

@@ -126,6 +126,12 @@ def _as_str(value: Any, field: str) -> str:
     return value
 
 
+def _as_optional_str(value: Any, field: str) -> Optional[str]:
+    if value is None:
+        return None
+    return _as_str(value, field)
+
+
 def _parse_json(text: Any, what: str) -> Any:
     if isinstance(text, (bytes, bytearray)):
         try:
@@ -201,6 +207,12 @@ class WireRequest:
     :meth:`to_latency`.  ``backend`` must be a backend registry name (the
     wire cannot carry live objects); everything
     :func:`repro.sim.backend.create_backend` resolves from a string works.
+
+    ``trace_id`` carries the client's distributed-tracing ID into the
+    service (additive optional field — no schema bump): when the service
+    traces, its server-side spans land under this ID and
+    ``GET /v1/trace/<id>`` returns them.  The HTTP layer also accepts it via
+    the ``X-Trace-Id`` header (body wins when both are present).
     """
 
     backend: str = "lightnobel"
@@ -209,6 +221,7 @@ class WireRequest:
     priority: int = 0
     deadline_seconds: Optional[float] = None
     tenant: str = "default"
+    trace_id: Optional[str] = None
     schema_version: int = SCHEMA_VERSION
 
     _FIELDS = (
@@ -219,6 +232,7 @@ class WireRequest:
         "priority",
         "deadline_seconds",
         "tenant",
+        "trace_id",
     )
 
     def to_latency(self) -> LatencyRequest:
@@ -229,6 +243,7 @@ class WireRequest:
             include_recycles=self.include_recycles,
             priority=self.priority,
             deadline_seconds=self.deadline_seconds,
+            trace_id=self.trace_id,
         )
 
     @classmethod
@@ -252,6 +267,7 @@ class WireRequest:
             priority=request.priority,
             deadline_seconds=request.deadline_seconds,
             tenant=tenant,
+            trace_id=request.trace_id,
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -263,6 +279,7 @@ class WireRequest:
             "priority": self.priority,
             "deadline_seconds": self.deadline_seconds,
             "tenant": self.tenant,
+            "trace_id": self.trace_id,
         }
 
     def to_json(self) -> str:
@@ -286,6 +303,7 @@ class WireRequest:
                 payload.get("deadline_seconds"), "deadline_seconds"
             ),
             tenant=_as_str(payload.get("tenant", "default"), "tenant"),
+            trace_id=_as_optional_str(payload.get("trace_id"), "trace_id"),
             schema_version=version,
         )
 
@@ -541,6 +559,7 @@ _LOG_FIELDS = (
     "coalesced",
     "queue_seconds",
     "service_seconds",
+    "trace_id",
 )
 
 
@@ -560,6 +579,7 @@ def log_record_to_dict(record: RequestLogRecord) -> Dict[str, Any]:
         "coalesced": bool(record.coalesced),
         "queue_seconds": float(record.queue_seconds),
         "service_seconds": float(record.service_seconds),
+        "trace_id": record.trace_id,
     }
 
 
@@ -580,6 +600,7 @@ def log_record_from_dict(payload: Mapping[str, Any]) -> RequestLogRecord:
         coalesced=bool(_as_optional_bool(payload.get("coalesced", False), "coalesced")),
         queue_seconds=_as_float(payload.get("queue_seconds", 0.0), "queue_seconds"),
         service_seconds=_as_float(payload.get("service_seconds", 0.0), "service_seconds"),
+        trace_id=_as_optional_str(payload.get("trace_id"), "trace_id"),
     )
 
 
